@@ -1,0 +1,30 @@
+// Figures 7, 8, 9: STBenchmark scaling with node count (1-16 nodes,
+// 800K tuples/relation at paper scale). Reports running time, total network
+// traffic, and per-node traffic for the five mapping scenarios.
+#include "bench/bench_util.h"
+
+using namespace orchestra;
+using namespace orchestra::bench;
+
+int main() {
+  Header("Figures 7/8/9: STBenchmark vs number of nodes");
+  std::printf("# paper: 800K tuples/relation; this run: %llu (%s scale)\n",
+              static_cast<unsigned long long>(StbTuples()),
+              PaperScale() ? "paper" : "small");
+  std::printf("scenario,nodes,time_s,total_traffic_MB,per_node_traffic_MB,rows\n");
+
+  for (workload::StbScenario scenario : workload::kAllStbScenarios) {
+    for (size_t nodes : {1, 2, 4, 8, 16}) {
+      workload::StbConfig cfg;
+      cfg.tuples_per_relation = StbTuples();
+      cfg.num_partitions = static_cast<uint32_t>(4 * std::max<size_t>(nodes, 4));
+      auto cluster = MakeCluster(workload::StbGenerate(scenario, cfg), nodes);
+      auto plan = PlanSql(cluster, workload::StbQuerySql(scenario));
+      RunMetrics m = RunQuery(cluster, plan);
+      std::printf("%s,%zu,%.3f,%.2f,%.2f,%zu\n", workload::StbScenarioName(scenario),
+                  nodes, m.time_s, m.total_mb, m.per_node_mb, m.rows);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

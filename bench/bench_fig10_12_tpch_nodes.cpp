@@ -1,0 +1,30 @@
+// Figures 10, 11, 12: TPC-H scaling with node count (1-16 nodes, SF 0.5 at
+// paper scale). Reports running time, total traffic, and per-node traffic
+// for Q1, Q3, Q5, Q6, Q10.
+#include "bench/bench_util.h"
+
+using namespace orchestra;
+using namespace orchestra::bench;
+
+int main() {
+  Header("Figures 10/11/12: TPC-H vs number of nodes");
+  double sf = TpchSf(0.5);
+  std::printf("# paper: SF 0.5; this run: SF %.4f (%s scale)\n", sf,
+              PaperScale() ? "paper" : "small");
+  std::printf("query,nodes,time_s,total_traffic_MB,per_node_traffic_MB,rows\n");
+
+  for (size_t nodes : {1, 2, 4, 8, 16}) {
+    workload::TpchConfig cfg;
+    cfg.scale_factor = sf;
+    cfg.num_partitions = static_cast<uint32_t>(4 * std::max<size_t>(nodes, 4));
+    auto cluster = MakeCluster(workload::TpchGenerate(cfg), nodes);
+    for (const std::string& q : workload::TpchQueryNames()) {
+      auto plan = PlanSql(cluster, workload::TpchQuerySql(q));
+      RunMetrics m = RunQuery(cluster, plan);
+      std::printf("%s,%zu,%.3f,%.2f,%.2f,%zu\n", q.c_str(), nodes, m.time_s,
+                  m.total_mb, m.per_node_mb, m.rows);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figures 13, 15: STBenchmark scaling with data size (100K-1.6M tuples per
+// relation at paper scale, 8 nodes). Reports running time and total traffic.
+#include "bench/bench_util.h"
+
+using namespace orchestra;
+using namespace orchestra::bench;
+
+int main() {
+  Header("Figures 13/15: STBenchmark vs data size (8 nodes)");
+  std::printf("# paper sweep: 100K..1.6M tuples/relation; this run scales that by %s\n",
+              PaperScale() ? "1x" : "1/200x");
+  std::printf("scenario,tuples_per_relation,time_s,total_traffic_MB,rows\n");
+
+  // Paper sweep: 100K, 200K, 400K, 800K, 1.6M == 800K * {1/8,1/4,1/2,1,2}.
+  for (workload::StbScenario scenario : workload::kAllStbScenarios) {
+    for (double relative : {0.125, 0.25, 0.5, 1.0, 2.0}) {
+      workload::StbConfig cfg;
+      cfg.tuples_per_relation = StbTuples(relative);
+      cfg.num_partitions = 32;
+      auto cluster = MakeCluster(workload::StbGenerate(scenario, cfg), 8);
+      auto plan = PlanSql(cluster, workload::StbQuerySql(scenario));
+      RunMetrics m = RunQuery(cluster, plan);
+      std::printf("%s,%llu,%.3f,%.2f,%zu\n", workload::StbScenarioName(scenario),
+                  static_cast<unsigned long long>(cfg.tuples_per_relation), m.time_s,
+                  m.total_mb, m.rows);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figures 14, 16: TPC-H scaling with database size (SF 0.25-4 at paper
+// scale, 8 nodes). Reports running time and total traffic per query.
+#include "bench/bench_util.h"
+
+using namespace orchestra;
+using namespace orchestra::bench;
+
+int main() {
+  Header("Figures 14/16: TPC-H vs scale factor (8 nodes)");
+  std::printf("# paper sweep: SF 0.25..4; this run multiplies each by %.4f\n",
+              TpchSf(1.0));
+  std::printf("query,relative_sf,time_s,total_traffic_MB,rows\n");
+
+  for (double relative : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    workload::TpchConfig cfg;
+    cfg.scale_factor = TpchSf(relative);
+    cfg.num_partitions = 32;
+    auto cluster = MakeCluster(workload::TpchGenerate(cfg), 8);
+    for (const std::string& q : workload::TpchQueryNames()) {
+      auto plan = PlanSql(cluster, workload::TpchQuerySql(q));
+      RunMetrics m = RunQuery(cluster, plan);
+      std::printf("%s,%.2f,%.3f,%.2f,%zu\n", q.c_str(), relative, m.time_s,
+                  m.total_mb, m.rows);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 17: TPC-H running time vs per-node bandwidth (8 nodes, SF 4 at
+// paper scale), the NetEm/HTB wide-area experiment of §VI-C. Also prints the
+// latency sensitivity table the paper describes in text ("realistic
+// latencies (up to 200ms) had little impact").
+#include "bench/bench_util.h"
+
+using namespace orchestra;
+using namespace orchestra::bench;
+
+int main() {
+  Header("Figure 17: TPC-H running time vs per-node bandwidth (8 nodes)");
+  double sf = TpchSf(4.0);
+  std::printf("# paper: SF 4; this run: SF %.4f\n", sf);
+  std::printf("query,bandwidth_KBps,time_s\n");
+
+  workload::TpchConfig cfg;
+  cfg.scale_factor = sf;
+  cfg.num_partitions = 32;
+  // Load once at full speed (the paper shapes traffic only for queries),
+  // then re-shape every link per setting; queries are read-only.
+  auto cluster = MakeCluster(workload::TpchGenerate(cfg), 8);
+
+  for (double kbps : {100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0}) {
+    net::LinkParams link;
+    link.bandwidth_bytes_per_sec = kbps * 1000.0;
+    link.latency_us = 100;
+    cluster.dep->network().SetAllLinkParams(link);
+    for (const std::string& q : workload::TpchQueryNames()) {
+      auto plan = PlanSql(cluster, workload::TpchQuerySql(q));
+      RunMetrics m = RunQuery(cluster, plan);
+      std::printf("%s,%.0f,%.3f\n", q.c_str(), kbps, m.time_s);
+      std::fflush(stdout);
+    }
+  }
+
+  Header("Latency sensitivity (paper: text only, plot omitted)");
+  std::printf("query,latency_ms,time_s\n");
+  for (double ms : {0.1, 20.0, 50.0, 100.0, 200.0}) {
+    net::LinkParams link;
+    link.bandwidth_bytes_per_sec = 125.0e6;
+    link.latency_us = static_cast<sim::SimTime>(ms * 1000.0);
+    cluster.dep->network().SetAllLinkParams(link);
+    for (const std::string& q : workload::TpchQueryNames()) {
+      auto plan = PlanSql(cluster, workload::TpchQuerySql(q));
+      RunMetrics m = RunQuery(cluster, plan);
+      std::printf("%s,%.1f,%.3f\n", q.c_str(), ms, m.time_s);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

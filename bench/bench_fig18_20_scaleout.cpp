@@ -1,0 +1,37 @@
+// Figures 18, 19, 20: larger-scale performance (the EC2 experiment): TPC-H
+// SF 10 at paper scale on 10-100 nodes. Reports running time, total traffic,
+// and per-node traffic.
+#include "bench/bench_util.h"
+
+using namespace orchestra;
+using namespace orchestra::bench;
+
+int main() {
+  Header("Figures 18/19/20: scale-out to 10-100 nodes (EC2 experiment)");
+  double sf = TpchSf(10.0);
+  std::printf("# paper: EC2, SF 10; this run: SF %.4f, simulated EC2-like links\n", sf);
+  std::printf("query,nodes,time_s,total_traffic_MB,per_node_traffic_MB\n");
+
+  workload::TpchConfig cfg;
+  cfg.scale_factor = sf;
+  cfg.num_partitions = 200;
+  auto data = workload::TpchGenerate(cfg);
+
+  // EC2 "large" instances: ~2GHz cores (slower than the local cluster's
+  // 2.4GHz Xeons), fat datacenter network with sub-ms latency.
+  net::LinkParams link;
+  link.bandwidth_bytes_per_sec = 100.0e6;
+  link.latency_us = 300;
+
+  for (size_t nodes : {10, 20, 40, 70, 100}) {
+    auto cluster = MakeCluster(data, nodes, link);
+    for (const std::string& q : workload::TpchQueryNames()) {
+      auto plan = PlanSql(cluster, workload::TpchQuerySql(q));
+      RunMetrics m = RunQuery(cluster, plan);
+      std::printf("%s,%zu,%.3f,%.2f,%.2f\n", q.c_str(), nodes, m.time_s, m.total_mb,
+                  m.per_node_mb);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the substrate primitives: SHA-1,
+// ring arithmetic, routing-table lookup, tuple block marshalling with
+// compression, and the embedded local store.
+#include <benchmark/benchmark.h>
+
+#include "common/compress.h"
+#include "common/rng.h"
+#include "hash/hash_id.h"
+#include "localstore/local_store.h"
+#include "overlay/ring.h"
+#include "query/block.h"
+#include "storage/value.h"
+
+namespace orchestra {
+namespace {
+
+void BM_Sha1(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(32)->Arg(1024)->Arg(65536);
+
+void BM_HashIdRingMath(benchmark::State& state) {
+  HashId a = HashId::OfBytes("a"), b = HashId::OfBytes("b");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Add(b).Sub(a).ClockwiseMidpoint(b));
+  }
+}
+BENCHMARK(BM_HashIdRingMath);
+
+void BM_RoutingLookup(benchmark::State& state) {
+  std::vector<overlay::Member> members;
+  for (int i = 0; i < state.range(0); ++i) {
+    members.push_back({static_cast<net::NodeId>(i),
+                       HashId::OfBytes("node" + std::to_string(i))});
+  }
+  auto snap = overlay::RoutingSnapshot::Build(1, overlay::AllocationScheme::kBalanced,
+                                              members);
+  Rng rng(1);
+  std::vector<HashId> keys;
+  for (int i = 0; i < 256; ++i) {
+    keys.push_back(HashId::OfBytes("k" + std::to_string(rng.NextU64())));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snap.OwnerOf(keys[i++ & 255]));
+  }
+}
+BENCHMARK(BM_RoutingLookup)->Arg(16)->Arg(100)->Arg(1000);
+
+void BM_BlockEncodeDecode(benchmark::State& state) {
+  Rng rng(7);
+  query::TupleBlock block;
+  block.query_id = 1;
+  block.dest_op = 2;
+  block.sender = 0;
+  for (int i = 0; i < state.range(0); ++i) {
+    query::BlockRow row;
+    row.tuple = {storage::Value(static_cast<int64_t>(i)),
+                 storage::Value(rng.AlphaString(25)),
+                 storage::Value(rng.AlphaString(25)), storage::Value(rng.NextDouble())};
+    row.taint = DynamicBitset(16);
+    row.taint.Set(static_cast<size_t>(i % 16));
+    block.rows.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    std::string bytes = block.Encode();
+    query::TupleBlock out;
+    benchmark::DoNotOptimize(query::TupleBlock::Decode(bytes, &out));
+  }
+  state.counters["compressed_bytes"] =
+      static_cast<double>(block.Encode().size());
+  state.counters["raw_bytes"] = static_cast<double>(block.ApproxRawBytes());
+}
+BENCHMARK(BM_BlockEncodeDecode)->Arg(64)->Arg(1024);
+
+void BM_LocalStorePut(benchmark::State& state) {
+  localstore::LocalStore store;
+  Rng rng(3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    store.Put("key-" + std::to_string(i++ % 100000), rng.AlphaString(64)).ok();
+  }
+}
+BENCHMARK(BM_LocalStorePut);
+
+void BM_LocalStoreScan(benchmark::State& state) {
+  localstore::LocalStore store;
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    store.Put("key-" + std::to_string(i), rng.AlphaString(32)).ok();
+  }
+  for (auto _ : state) {
+    size_t n = 0;
+    for (auto it = store.Seek("key-2"); it.Valid() && n < 1000; it.Next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_LocalStoreScan);
+
+void BM_CompressStbTuples(benchmark::State& state) {
+  Rng rng(5);
+  std::string payload;
+  for (int i = 0; i < 1024; ++i) payload += rng.AlphaString(25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompressBlock(payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_CompressStbTuples);
+
+}  // namespace
+}  // namespace orchestra
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// The paper's motivating scenario (§I): autonomous bioinformatics groups
+// collaboratively curate gene annotations. Three participants with their own
+// local databases and trust levels publish updates, import each other's data
+// through schema mappings, and reconcile conflicting annotations.
+//
+//   build/examples/bioshare_cdss
+#include <cstdio>
+
+#include "cdss/cdss.h"
+
+using namespace orchestra;
+using cdss::Participant;
+using cdss::SchemaMapping;
+using storage::Value;
+using storage::ValueType;
+
+int main() {
+  deploy::DeploymentOptions opts;
+  opts.num_nodes = 6;
+  deploy::Deployment dep(opts);
+
+  // Three labs contribute nodes and participate; the consortium trusts the
+  // genome center most, then the university lab, then the startup.
+  Participant genome_center(&dep, 0, "genome-center", 1);
+  Participant uni_lab(&dep, 1, "uni-lab", 2);
+  Participant biotech(&dep, 2, "biotech", 3);
+
+  // Shared CDSS relation: annotations keyed by gene; the origin becomes part
+  // of the shared key so concurrent versions coexist until reconciliation.
+  auto shared = cdss::SharedRelation(
+      "annotations",
+      {{"gene", ValueType::kString}, {"function", ValueType::kString}}, 1);
+  genome_center.CreateSharedRelation(shared).ok();
+
+  storage::RelationDef local;
+  local.name = "annotations_local";
+  local.schema = storage::Schema(
+      {{"gene", ValueType::kString}, {"function", ValueType::kString}}, 1);
+  SchemaMapping pull_all{
+      "pull-annotations", "annotations_local",
+      "SELECT gene, function, origin, origin_priority FROM annotations"};
+  for (Participant* p : {&genome_center, &uni_lab, &biotech}) {
+    p->CreateLocalRelation(local);
+    p->BindLocalToShared("annotations_local", "annotations");
+    p->AddMapping(pull_all);
+  }
+
+  // Everyone edits locally (possibly disagreeing), then publishes.
+  genome_center.LocalInsert("annotations_local",
+                            {Value("BRCA1"), Value("DNA double-strand break repair")});
+  genome_center.LocalInsert("annotations_local",
+                            {Value("TP53"), Value("tumor suppressor")});
+  uni_lab.LocalInsert("annotations_local",
+                      {Value("TP53"), Value("apoptosis regulator")});  // conflict!
+  uni_lab.LocalInsert("annotations_local",
+                      {Value("MYC"), Value("transcription factor")});
+  biotech.LocalInsert("annotations_local",
+                      {Value("EGFR"), Value("growth factor receptor")});
+
+  for (Participant* p : {&genome_center, &uni_lab, &biotech}) {
+    auto e = p->Publish();
+    std::printf("%s published epoch %llu\n", p->name().c_str(),
+                e.ok() ? (unsigned long long)*e : 0ull);
+  }
+
+  // Import cycle: update exchange (mapping queries over the shared store)
+  // plus reconciliation by trust priority.
+  for (Participant* p : {&genome_center, &uni_lab, &biotech}) {
+    auto report = p->Import();
+    std::printf("\n%s imported %zu tuple(s), %zu conflict(s) (%zu kept own)\n",
+                p->name().c_str(), report->tuples_imported,
+                report->conflicts_found, report->conflicts_kept_mine);
+    for (const cdss::Conflict& c : report->conflicts) {
+      std::printf("  conflict on %s: mine=%s theirs=%s -> kept %s\n",
+                  c.relation.c_str(), storage::TupleToString(c.mine).c_str(),
+                  storage::TupleToString(c.theirs).c_str(),
+                  c.resolved_mine ? "mine" : "theirs");
+    }
+    std::printf("  local database now:\n");
+    for (const auto& t : p->LocalScan("annotations_local")) {
+      std::printf("    %s\n", storage::TupleToString(t).c_str());
+    }
+  }
+
+  // The genome center's "tumor suppressor" wins the TP53 dispute everywhere,
+  // while every lab also gains the others' new annotations.
+  return 0;
+}

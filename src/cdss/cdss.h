@@ -1,0 +1,133 @@
+// The ORCHESTRA CDSS layer (§I, §II): participants with local databases and
+// schemas, the publish/import cycle, update exchange over schema mappings,
+// and reconciliation of conflicting concurrent updates.
+//
+// This is a functional (simplified) realization of the components the paper
+// inherits from [2] (reconciliation) and [3] (update exchange with
+// mappings): mappings are select-project-join rules evaluated over the
+// shared versioned store via the distributed query engine, and conflicts are
+// key-level collisions between updates published by different participants
+// since the importer's last sync, resolved by a trust priority order.
+#ifndef ORCHESTRA_CDSS_CDSS_H_
+#define ORCHESTRA_CDSS_CDSS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deploy/deployment.h"
+#include "localstore/local_store.h"
+#include "optimizer/optimizer.h"
+#include "query/service.h"
+#include "storage/publisher.h"
+
+namespace orchestra::cdss {
+
+/// A schema mapping: a single-block SQL query over *shared* relations whose
+/// result is imported into the participant's local `target` relation. The
+/// select-list arity must match the target schema.
+struct SchemaMapping {
+  std::string name;
+  std::string target_relation;
+  std::string sql;
+};
+
+/// Conflict found during reconciliation (§II): two participants updated the
+/// same key of the same shared relation in the imported epoch window.
+struct Conflict {
+  std::string relation;
+  storage::Tuple mine;    // the version this participant had published/held
+  storage::Tuple theirs;  // the competing version
+  bool resolved_mine = false;
+};
+
+struct ImportReport {
+  storage::Epoch epoch = 0;          // global epoch the import ran against
+  size_t tuples_imported = 0;
+  size_t conflicts_found = 0;
+  size_t conflicts_kept_mine = 0;
+  std::vector<Conflict> conflicts;
+};
+
+/// One CDSS participant: owns a local database (its own schema), publishes
+/// its update log to the shared versioned store, and imports others' data
+/// through its schema mappings.
+class Participant {
+ public:
+  /// `node` is the deployment node this participant contributes/runs on.
+  /// `trust_priority`: lower value wins conflicts (the paper's reconciliation
+  /// uses per-participant trust policies; we model a total priority order).
+  Participant(deploy::Deployment* dep, size_t node, std::string name,
+              int trust_priority);
+
+  const std::string& name() const { return name_; }
+  size_t node() const { return node_; }
+
+  // --- Local database --------------------------------------------------------
+  /// Declares a local relation (exists only in this participant's DB).
+  void CreateLocalRelation(const storage::RelationDef& def);
+  /// Binds a local relation to the shared relation its updates publish into
+  /// (its own schema mapping direction, §II). Default: same name.
+  void BindLocalToShared(const std::string& local_name,
+                         const std::string& shared_name) {
+    shared_binding_[local_name] = shared_name;
+  }
+  /// Applies an edit to the local DB and appends it to the update log.
+  void LocalInsert(const std::string& relation, storage::Tuple t);
+  void LocalDelete(const std::string& relation, storage::Tuple key);
+  /// Reads the full local relation (sorted by key).
+  std::vector<storage::Tuple> LocalScan(const std::string& relation) const;
+  size_t pending_updates() const { return log_.size(); }
+
+  // --- Shared store ----------------------------------------------------------
+  /// Declares a shared relation in the CDSS (any participant may do this).
+  Status CreateSharedRelation(const storage::RelationDef& def);
+
+  /// Publication (§II): pushes the local update log for `relation` into the
+  /// shared versioned store as one new epoch. The log is cleared on success.
+  Result<storage::Epoch> Publish();
+
+  /// Import = update exchange + reconciliation (§II): runs every mapping
+  /// query against the shared store at the current epoch, translates results
+  /// into local relations, and reconciles conflicts against local versions.
+  Result<ImportReport> Import();
+
+  void AddMapping(SchemaMapping mapping) { mappings_.push_back(std::move(mapping)); }
+  int trust_priority() const { return trust_priority_; }
+
+  /// Key-collision reconciliation between a remote tuple and the local one.
+  /// Returns true if the local (mine) version wins.
+  bool MineWins(int other_priority) const { return trust_priority_ <= other_priority; }
+
+ private:
+  struct LoggedUpdate {
+    std::string relation;
+    storage::Update update;
+  };
+
+  std::string LocalKey(const std::string& relation, const storage::Tuple& t) const;
+
+  deploy::Deployment* dep_;
+  size_t node_;
+  std::string name_;
+  int trust_priority_;
+  std::map<std::string, storage::RelationDef> local_catalog_;
+  localstore::LocalStore local_db_;
+  std::vector<LoggedUpdate> log_;
+  std::vector<SchemaMapping> mappings_;
+  std::map<std::string, std::string> shared_binding_;
+};
+
+/// Annotates shared relations with the publishing participant: the CDSS
+/// convention here is that shared relations carry an `origin` column holding
+/// the publisher's name plus its trust priority, which reconciliation uses.
+/// Helpers to build such relations:
+storage::RelationDef SharedRelation(const std::string& name,
+                                    std::vector<storage::ColumnDef> cols,
+                                    uint32_t key_arity,
+                                    uint32_t num_partitions = 16);
+
+}  // namespace orchestra::cdss
+
+#endif  // ORCHESTRA_CDSS_CDSS_H_

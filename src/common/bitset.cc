@@ -1,0 +1,96 @@
+#include "common/bitset.h"
+
+#include <cassert>
+
+#include "common/serial.h"
+
+namespace orchestra {
+
+bool DynamicBitset::empty_set() const {
+  for (uint64_t w : words_)
+    if (w) return false;
+  return true;
+}
+
+void DynamicBitset::Set(size_t i) {
+  assert(i < bits_);
+  words_[i / 64] |= (1ull << (i % 64));
+}
+
+void DynamicBitset::Reset(size_t i) {
+  assert(i < bits_);
+  words_[i / 64] &= ~(1ull << (i % 64));
+}
+
+bool DynamicBitset::Test(size_t i) const {
+  assert(i < bits_);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void DynamicBitset::UnionWith(const DynamicBitset& other) {
+  assert(bits_ == other.bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i)
+    if (words_[i] & other.words_[i]) return true;
+  return false;
+}
+
+size_t DynamicBitset::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+  return c;
+}
+
+size_t DynamicBitset::FirstSet() const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i]) return i * 64 + static_cast<size_t>(__builtin_ctzll(words_[i]));
+  }
+  return bits_;
+}
+
+size_t DynamicBitset::Hash() const {
+  // FNV-1a over words plus the size.
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(bits_);
+  for (uint64_t w : words_) mix(w);
+  return static_cast<size_t>(h);
+}
+
+void DynamicBitset::EncodeTo(Writer* w) const {
+  w->PutVarint64(bits_);
+  for (uint64_t word : words_) w->PutVarint64(word);
+}
+
+Status DynamicBitset::DecodeFrom(Reader* r, DynamicBitset* out) {
+  uint64_t bits;
+  ORC_RETURN_IF_ERROR(r->GetVarint64(&bits));
+  if (bits > (1u << 20)) return Status::Corruption("bitset: absurd size");
+  DynamicBitset b(bits);
+  for (auto& word : b.words_) ORC_RETURN_IF_ERROR(r->GetVarint64(&word));
+  *out = std::move(b);
+  return Status::OK();
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string s = "{";
+  bool first = true;
+  for (size_t i = 0; i < bits_; ++i) {
+    if (Test(i)) {
+      if (!first) s += ",";
+      s += std::to_string(i);
+      first = false;
+    }
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace orchestra

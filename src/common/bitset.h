@@ -1,0 +1,65 @@
+// DynamicBitset: the provenance node-set attached to tuples (§V-D). Sized to
+// the routing snapshot's node count at query start; supports the operations
+// taint-tracking needs (union, intersection test, canonical key form).
+#ifndef ORCHESTRA_COMMON_BITSET_H_
+#define ORCHESTRA_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orchestra {
+
+class Writer;
+class Reader;
+class Status;
+
+/// Fixed-capacity bitset whose size is chosen at construction.
+///
+/// Equality/hash are value-based so a DynamicBitset can key a hash map (the
+/// aggregate operator partitions each group into sub-groups keyed by the set
+/// of nodes that contributed, §V-D).
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  size_t size() const { return bits_; }
+  bool empty_set() const;  // true when no bit is set
+
+  void Set(size_t i);
+  void Reset(size_t i);
+  bool Test(size_t i) const;
+
+  /// this |= other. Both must have identical size.
+  void UnionWith(const DynamicBitset& other);
+  /// Any common set bit?
+  bool Intersects(const DynamicBitset& other) const;
+  size_t Count() const;
+  /// Index of lowest set bit, or size() when empty.
+  size_t FirstSet() const;
+
+  bool operator==(const DynamicBitset& other) const {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+
+  /// Stable hash for use as unordered_map key.
+  size_t Hash() const;
+
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, DynamicBitset* out);
+
+  std::string ToString() const;  // e.g. "{0,3,7}"
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+struct DynamicBitsetHash {
+  size_t operator()(const DynamicBitset& b) const { return b.Hash(); }
+};
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_COMMON_BITSET_H_

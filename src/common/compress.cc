@@ -1,0 +1,48 @@
+#include "common/compress.h"
+
+#include <zlib.h>
+
+#include "common/serial.h"
+
+namespace orchestra {
+
+std::string CompressBlock(std::string_view input) {
+  uLongf bound = compressBound(static_cast<uLong>(input.size()));
+  Writer header;
+  header.PutVarint64(input.size());
+  std::string out = header.Release();
+  size_t header_size = out.size();
+  out.resize(header_size + bound);
+  // Z_BEST_SPEED: the paper emphasizes *lightweight* compression; the goal is
+  // exploiting commonality across batched tuples, not maximal ratio.
+  int rc = compress2(reinterpret_cast<Bytef*>(out.data() + header_size), &bound,
+                     reinterpret_cast<const Bytef*>(input.data()),
+                     static_cast<uLong>(input.size()), Z_BEST_SPEED);
+  if (rc != Z_OK) {
+    // compressBound guarantees success for valid inputs; treat as fatal.
+    out.resize(header_size);
+    return out;
+  }
+  out.resize(header_size + bound);
+  return out;
+}
+
+Result<std::string> UncompressBlock(std::string_view input) {
+  Reader reader(input);
+  uint64_t raw_size;
+  ORC_RETURN_IF_ERROR(reader.GetVarint64(&raw_size));
+  if (raw_size > (1ull << 32)) return Status::Corruption("compress: absurd size");
+  std::string out;
+  out.resize(raw_size);
+  uLongf dest_len = static_cast<uLongf>(raw_size);
+  std::string_view body = input.substr(reader.position());
+  int rc = uncompress(reinterpret_cast<Bytef*>(out.data()), &dest_len,
+                      reinterpret_cast<const Bytef*>(body.data()),
+                      static_cast<uLong>(body.size()));
+  if (rc != Z_OK || dest_len != raw_size) {
+    return Status::Corruption("compress: inflate failed");
+  }
+  return out;
+}
+
+}  // namespace orchestra

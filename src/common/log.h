@@ -1,0 +1,50 @@
+// Minimal leveled logging + invariant checks.
+#ifndef ORCHESTRA_COMMON_LOG_H_
+#define ORCHESTRA_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace orchestra {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default kWarn so tests
+/// and benches stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace internal
+
+#define ORC_LOG(level, ...)                                                     \
+  do {                                                                          \
+    if (static_cast<int>(level) >= static_cast<int>(::orchestra::GetLogLevel())) { \
+      std::ostringstream _orc_os;                                               \
+      _orc_os << __VA_ARGS__;                                                   \
+      ::orchestra::internal::LogMessage(level, __FILE__, __LINE__, _orc_os.str()); \
+    }                                                                           \
+  } while (0)
+
+#define ORC_DEBUG(...) ORC_LOG(::orchestra::LogLevel::kDebug, __VA_ARGS__)
+#define ORC_INFO(...) ORC_LOG(::orchestra::LogLevel::kInfo, __VA_ARGS__)
+#define ORC_WARN(...) ORC_LOG(::orchestra::LogLevel::kWarn, __VA_ARGS__)
+#define ORC_ERROR(...) ORC_LOG(::orchestra::LogLevel::kError, __VA_ARGS__)
+
+/// Invariant check: aborts on violation (programmer error, not expected
+/// failure — those use Status).
+#define ORC_CHECK(expr, ...)                                                  \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream _orc_os;                                             \
+      _orc_os << "" __VA_ARGS__;                                              \
+      ::orchestra::internal::CheckFailed(__FILE__, __LINE__, #expr, _orc_os.str()); \
+    }                                                                         \
+  } while (0)
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_COMMON_LOG_H_

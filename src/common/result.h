@@ -1,0 +1,65 @@
+// Result<T>: value-or-Status, the return type for fallible producers.
+#ifndef ORCHESTRA_COMMON_RESULT_H_
+#define ORCHESTRA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace orchestra {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Mirrors arrow::Result / rocksdb's StatusOr idiom.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T ValueOr(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+#define ORC_CONCAT_INNER_(a, b) a##b
+#define ORC_CONCAT_(a, b) ORC_CONCAT_INNER_(a, b)
+#define ORC_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                               \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+#define ORC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  ORC_ASSIGN_OR_RETURN_IMPL_(ORC_CONCAT_(_orc_result_, __LINE__), lhs, rexpr)
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_COMMON_RESULT_H_

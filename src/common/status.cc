@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace orchestra {
+
+namespace {
+const char* CodeName(Status::Code c) {
+  switch (c) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kNotFound: return "NotFound";
+    case Status::Code::kInvalidArgument: return "InvalidArgument";
+    case Status::Code::kCorruption: return "Corruption";
+    case Status::Code::kIOError: return "IOError";
+    case Status::Code::kUnavailable: return "Unavailable";
+    case Status::Code::kAborted: return "Aborted";
+    case Status::Code::kTimedOut: return "TimedOut";
+    case Status::Code::kNotSupported: return "NotSupported";
+    case Status::Code::kFailedPrecondition: return "FailedPrecondition";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace orchestra

@@ -1,0 +1,80 @@
+// Status: RocksDB/Arrow-style error handling for expected failures.
+// Exceptions are reserved for programmer errors (see ORC_CHECK in log.h).
+#ifndef ORCHESTRA_COMMON_STATUS_H_
+#define ORCHESTRA_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace orchestra {
+
+/// Outcome of an operation that can fail in expected ways.
+///
+/// A `Status` is cheap to copy when OK (no allocation) and carries a code
+/// plus human-readable message otherwise. Functions that can fail return
+/// `Status` (or `Result<T>`, see result.h) rather than throwing.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kInvalidArgument = 2,
+    kCorruption = 3,
+    kIOError = 4,
+    kUnavailable = 5,   // node down / data not yet replicated; retryable
+    kAborted = 6,       // query aborted (e.g. for full restart)
+    kTimedOut = 7,
+    kNotSupported = 8,
+    kFailedPrecondition = 9,
+  };
+
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) { return Status(Code::kNotFound, msg); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status Corruption(std::string_view msg) { return Status(Code::kCorruption, msg); }
+  static Status IOError(std::string_view msg) { return Status(Code::kIOError, msg); }
+  static Status Unavailable(std::string_view msg) { return Status(Code::kUnavailable, msg); }
+  static Status Aborted(std::string_view msg) { return Status(Code::kAborted, msg); }
+  static Status TimedOut(std::string_view msg) { return Status(Code::kTimedOut, msg); }
+  static Status NotSupported(std::string_view msg) { return Status(Code::kNotSupported, msg); }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if not OK.
+#define ORC_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::orchestra::Status _orc_s = (expr);             \
+    if (!_orc_s.ok()) return _orc_s;                 \
+  } while (0)
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_COMMON_STATUS_H_

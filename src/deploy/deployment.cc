@@ -1,0 +1,167 @@
+#include "deploy/deployment.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace orchestra::deploy {
+
+Deployment::Deployment(DeploymentOptions options)
+    : options_(options),
+      network_(&sim_, options.link),
+      ring_(options.scheme),
+      board_(std::make_shared<storage::SnapshotBoard>()) {
+  for (size_t i = 0; i < options_.num_nodes; ++i) {
+    std::string name = "node-" + std::to_string(i);
+    net::NodeId id = network_.AddNode(name);
+    ring_.Join(id, name);
+  }
+  board_->current = ring_.TakeSnapshot();
+
+  std::vector<net::NodeId> everyone;
+  for (const auto& m : board_->current.members()) everyone.push_back(m.node);
+
+  for (size_t i = 0; i < options_.num_nodes; ++i) {
+    hosts_.push_back(std::make_unique<net::NodeHost>(&network_, static_cast<net::NodeId>(i)));
+    gossip_.push_back(std::make_unique<overlay::GossipService>(
+        hosts_.back().get(), everyone, options_.seed + i, options_.gossip_interval_us));
+    storage_.push_back(std::make_unique<storage::StorageService>(
+        hosts_.back().get(), board_, options_.replication));
+    publishers_.push_back(std::make_unique<storage::Publisher>(
+        storage_.back().get(), gossip_.back().get()));
+    query_.push_back(std::make_unique<query::QueryService>(
+        hosts_.back().get(), storage_.back().get(), gossip_.back().get(), board_));
+    if (options_.start_gossip) gossip_.back()->Start();
+  }
+}
+
+Deployment::~Deployment() = default;
+
+void Deployment::KillNode(net::NodeId node, bool update_routing) {
+  network_.KillNode(node);
+  if (update_routing) {
+    ring_.Leave(node);
+    board_->current = ring_.TakeSnapshot();
+  }
+}
+
+net::NodeId Deployment::AddNode() {
+  std::string name = "node-" + std::to_string(network_.node_count());
+  net::NodeId id = network_.AddNode(name);
+  ring_.Join(id, name);
+
+  std::vector<net::NodeId> everyone;
+  for (const auto& m : board_->current.members()) everyone.push_back(m.node);
+  everyone.push_back(id);
+  hosts_.push_back(std::make_unique<net::NodeHost>(&network_, id));
+  gossip_.push_back(std::make_unique<overlay::GossipService>(
+      hosts_.back().get(), everyone, options_.seed + id, options_.gossip_interval_us));
+  storage_.push_back(std::make_unique<storage::StorageService>(
+      hosts_.back().get(), board_, options_.replication));
+  publishers_.push_back(std::make_unique<storage::Publisher>(
+      storage_.back().get(), gossip_.back().get()));
+  query_.push_back(std::make_unique<query::QueryService>(
+      hosts_.back().get(), storage_.back().get(), gossip_.back().get(), board_));
+
+  overlay::RoutingSnapshot next = ring_.TakeSnapshot();
+  // Background replication (PAST-style): existing nodes push state the new
+  // table says the newcomer (or anyone else) should replicate.
+  for (auto& svc : storage_) {
+    if (network_.IsAlive(svc->node())) svc->RebalanceTo(next);
+  }
+  board_->current = next;
+  return id;
+}
+
+storage::Epoch Deployment::MaxKnownEpoch() const {
+  storage::Epoch max_epoch = 0;
+  for (size_t i = 0; i < gossip_.size(); ++i) {
+    if (network_.IsAlive(static_cast<net::NodeId>(i))) {
+      max_epoch = std::max(max_epoch, gossip_[i]->epoch());
+    }
+  }
+  return max_epoch;
+}
+
+bool Deployment::RunUntil(const std::function<bool()>& pred, sim::SimTime max_wait) {
+  sim::SimTime deadline = sim_.now() + max_wait;
+  while (!pred()) {
+    if (sim_.now() > deadline) return false;
+    if (!sim_.Step()) return pred();
+  }
+  return true;
+}
+
+void Deployment::RunFor(sim::SimTime duration) { sim_.RunUntil(sim_.now() + duration); }
+
+Status Deployment::CreateRelation(size_t via_node, const storage::RelationDef& def) {
+  bool done = false;
+  Status result;
+  publisher(via_node).CreateRelation(def, [&](Status st) {
+    result = st;
+    done = true;
+  });
+  if (!RunUntil([&] { return done; })) {
+    return Status::TimedOut("CreateRelation did not complete");
+  }
+  return result;
+}
+
+Result<storage::Epoch> Deployment::Publish(size_t via_node,
+                                           storage::UpdateBatch batch) {
+  bool done = false;
+  Status result;
+  storage::Epoch epoch = 0;
+  publisher(via_node).PublishBatch(std::move(batch), [&](Status st, storage::Epoch e) {
+    result = st;
+    epoch = e;
+    done = true;
+  });
+  if (!RunUntil([&] { return done; })) {
+    return Status::TimedOut("Publish did not complete");
+  }
+  if (!result.ok()) return result;
+  return epoch;
+}
+
+Result<std::vector<storage::Tuple>> Deployment::Retrieve(size_t via_node,
+                                                         const std::string& relation,
+                                                         storage::Epoch epoch,
+                                                         storage::KeyFilter filter) {
+  bool done = false;
+  Status result;
+  std::vector<storage::Tuple> rows;
+  storage(via_node).Retrieve(relation, epoch, filter,
+                             [&](Status st, std::vector<storage::Tuple> r) {
+                               result = st;
+                               rows = std::move(r);
+                               done = true;
+                             });
+  if (!RunUntil([&] { return done; })) {
+    return Status::TimedOut("Retrieve did not complete");
+  }
+  if (!result.ok()) return result;
+  return rows;
+}
+
+Result<query::QueryResult> Deployment::ExecuteQuery(size_t via_node,
+                                                    const query::PhysicalPlan& plan,
+                                                    storage::Epoch epoch,
+                                                    query::QueryOptions options) {
+  bool done = false;
+  Status result;
+  query::QueryResult out;
+  query(via_node).Execute(plan, epoch, options,
+                          [&](Status st, query::QueryResult r) {
+                            result = st;
+                            out = std::move(r);
+                            done = true;
+                          });
+  if (!RunUntil([&] { return done; }, 600 * sim::kMicrosPerSec)) {
+    return Status::TimedOut("query did not complete");
+  }
+  if (!result.ok()) return result;
+  return out;
+}
+
+}  // namespace orchestra::deploy

@@ -1,0 +1,103 @@
+// Deployment: assembles a full simulated ORCHESTRA cluster — simulator,
+// network, node hosts, gossip, storage services, publishers — the way the
+// paper deploys its prototype on the local cluster or EC2 (§VI). Used by
+// tests, benchmarks, and examples.
+#ifndef ORCHESTRA_DEPLOY_DEPLOYMENT_H_
+#define ORCHESTRA_DEPLOY_DEPLOYMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/node_host.h"
+#include "overlay/gossip.h"
+#include "overlay/ring.h"
+#include "query/service.h"
+#include "sim/simulator.h"
+#include "storage/publisher.h"
+#include "storage/service.h"
+
+namespace orchestra::deploy {
+
+struct DeploymentOptions {
+  size_t num_nodes = 4;
+  int replication = 3;
+  overlay::AllocationScheme scheme = overlay::AllocationScheme::kBalanced;
+  net::LinkParams link;  // defaults: Gigabit LAN
+  uint64_t seed = 42;
+  /// Start periodic gossip timers (leave off for fully quiescent tests; the
+  /// epoch counter still works, it just doesn't spread in the background).
+  bool start_gossip = false;
+  sim::SimTime gossip_interval_us = 500 * sim::kMicrosPerMilli;
+};
+
+class Deployment {
+ public:
+  explicit Deployment(DeploymentOptions options);
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  size_t size() const { return hosts_.size(); }
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network() { return network_; }
+  net::NodeHost& host(size_t i) { return *hosts_[i]; }
+  storage::StorageService& storage(size_t i) { return *storage_[i]; }
+  overlay::GossipService& gossip(size_t i) { return *gossip_[i]; }
+  storage::Publisher& publisher(size_t i) { return *publishers_[i]; }
+  query::QueryService& query(size_t i) { return *query_[i]; }
+  std::shared_ptr<storage::SnapshotBoard> board() { return board_; }
+  const overlay::RoutingSnapshot& snapshot() const { return board_->current; }
+  const DeploymentOptions& options() const { return options_; }
+
+  /// Kills the node (fail-stop) and, if `update_routing`, rebuilds the
+  /// current routing table without it (queries keep their own snapshots).
+  void KillNode(net::NodeId node, bool update_routing = true);
+
+  /// Adds a fresh node to the ring, updates the routing table, and triggers
+  /// background re-replication from existing nodes.
+  net::NodeId AddNode();
+
+  /// Highest epoch any live node has gossiped (deterministic alternative to
+  /// waiting for gossip convergence in tests/harnesses).
+  storage::Epoch MaxKnownEpoch() const;
+
+  /// Steps the simulator until `pred()` or `max_wait` simulated time passes.
+  /// Returns true if the predicate fired.
+  bool RunUntil(const std::function<bool()>& pred,
+                sim::SimTime max_wait = 120 * sim::kMicrosPerSec);
+  /// Runs for a fixed amount of simulated time.
+  void RunFor(sim::SimTime duration);
+
+  // --- Synchronous conveniences (drive the sim until the callback fires) ---
+  Status CreateRelation(size_t via_node, const storage::RelationDef& def);
+  Result<storage::Epoch> Publish(size_t via_node, storage::UpdateBatch batch);
+  Result<std::vector<storage::Tuple>> Retrieve(size_t via_node,
+                                               const std::string& relation,
+                                               storage::Epoch epoch,
+                                               storage::KeyFilter filter = {});
+  /// Runs a distributed query from `via_node` and drives the sim to
+  /// completion. `epoch` 0 means the node's current gossiped epoch.
+  Result<query::QueryResult> ExecuteQuery(size_t via_node,
+                                          const query::PhysicalPlan& plan,
+                                          storage::Epoch epoch = 0,
+                                          query::QueryOptions options = {});
+
+ private:
+  DeploymentOptions options_;
+  sim::Simulator sim_;
+  net::Network network_;
+  overlay::Ring ring_;
+  std::shared_ptr<storage::SnapshotBoard> board_;
+  std::vector<std::unique_ptr<net::NodeHost>> hosts_;
+  std::vector<std::unique_ptr<overlay::GossipService>> gossip_;
+  std::vector<std::unique_ptr<storage::StorageService>> storage_;
+  std::vector<std::unique_ptr<storage::Publisher>> publishers_;
+  std::vector<std::unique_ptr<query::QueryService>> query_;
+};
+
+}  // namespace orchestra::deploy
+
+#endif  // ORCHESTRA_DEPLOY_DEPLOYMENT_H_

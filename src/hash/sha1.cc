@@ -1,0 +1,114 @@
+#include "hash/sha1.h"
+
+#include <cstring>
+
+namespace orchestra {
+
+namespace {
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+}  // namespace
+
+Sha1Hasher::Sha1Hasher() {
+  h_[0] = 0x67452301;
+  h_[1] = 0xEFCDAB89;
+  h_[2] = 0x98BADCFE;
+  h_[3] = 0x10325476;
+  h_[4] = 0xC3D2E1F0;
+}
+
+void Sha1Hasher::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    uint32_t tmp = Rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1Hasher::Update(std::string_view data) { Update(data.data(), data.size()); }
+
+void Sha1Hasher::Update(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_len_ += n;
+  if (buffer_len_ > 0) {
+    size_t take = std::min(n, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    n -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (n >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffer_len_ = n;
+  }
+}
+
+Sha1Digest Sha1Hasher::Finish() {
+  uint64_t bit_len = total_len_ * 8;
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  uint8_t zero = 0;
+  while (buffer_len_ != 56) Update(&zero, 1);
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  Update(len_bytes, 8);
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<uint8_t>(h_[i] >> 24);
+    digest[i * 4 + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    digest[i * 4 + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    digest[i * 4 + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+Sha1Digest Sha1(std::string_view data) {
+  Sha1Hasher hasher;
+  hasher.Update(data);
+  return hasher.Finish();
+}
+
+}  // namespace orchestra

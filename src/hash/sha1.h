@@ -1,0 +1,38 @@
+// SHA-1 (FIPS 180-1), implemented from the specification. The substrate keys
+// all data placement off SHA-1 per §III-A; cryptographic strength is not the
+// point — matching the paper's 160-bit uniformly distributed key space is.
+#ifndef ORCHESTRA_HASH_SHA1_H_
+#define ORCHESTRA_HASH_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace orchestra {
+
+/// 20-byte SHA-1 digest.
+using Sha1Digest = std::array<uint8_t, 20>;
+
+/// One-shot SHA-1 of `data`.
+Sha1Digest Sha1(std::string_view data);
+
+/// Incremental SHA-1 for hashing composite keys without concatenation copies.
+class Sha1Hasher {
+ public:
+  Sha1Hasher();
+  void Update(std::string_view data);
+  void Update(const void* data, size_t n);
+  Sha1Digest Finish();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_HASH_SHA1_H_

@@ -1,0 +1,104 @@
+#include "localstore/local_store.h"
+
+#include "common/log.h"
+
+namespace orchestra::localstore {
+
+LocalStore::LocalStore(StoreOptions options) : options_(options) {}
+
+void LocalStore::Append(bool is_delete, std::string_view key, std::string_view value) {
+  log_.push_back(LogRecord{is_delete, std::string(key), std::string(value)});
+  stats_.log_records += 1;
+  stats_.log_bytes += key.size() + value.size() + 1;
+}
+
+Status LocalStore::Put(std::string_view key, std::string_view value) {
+  if (key.empty()) return Status::InvalidArgument("localstore: empty key");
+  Append(false, key, value);
+  index_[std::string(key)] = log_.size() - 1;
+  stats_.puts += 1;
+  stats_.live_records = index_.size();
+  MaybeCompact();
+  return Status::OK();
+}
+
+Result<std::string> LocalStore::Get(std::string_view key) const {
+  const_cast<StoreStats&>(stats_).gets += 1;
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::NotFound("localstore: no such key");
+  return log_[it->second].value;
+}
+
+bool LocalStore::Contains(std::string_view key) const {
+  return index_.find(key) != index_.end();
+}
+
+Status LocalStore::Delete(std::string_view key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Append(true, key, {});
+    index_.erase(it);
+    stats_.deletes += 1;
+    stats_.live_records = index_.size();
+    MaybeCompact();
+  }
+  return Status::OK();
+}
+
+std::string_view LocalStore::Iterator::value() const {
+  return store_->log_[it_->second].value;
+}
+
+LocalStore::Iterator LocalStore::Seek(std::string_view start) const {
+  return Iterator(this, index_.lower_bound(start), index_.end());
+}
+
+LocalStore::Iterator LocalStore::SeekPrefix(std::string_view prefix) const {
+  return Seek(prefix);
+}
+
+bool LocalStore::WithinPrefix(const Iterator& it, std::string_view prefix) {
+  return it.Valid() && it.key().substr(0, prefix.size()) == prefix;
+}
+
+Status LocalStore::Recover() {
+  std::map<std::string, uint64_t, std::less<>> rebuilt;
+  for (uint64_t pos = 0; pos < log_.size(); ++pos) {
+    const LogRecord& rec = log_[pos];
+    if (rec.key.empty()) return Status::Corruption("localstore: empty key in log");
+    if (rec.is_delete) {
+      rebuilt.erase(rec.key);
+    } else {
+      rebuilt[rec.key] = pos;
+    }
+  }
+  if (rebuilt != index_) {
+    // The replayed state must match the live index exactly; divergence means
+    // the log is not the source of truth any more.
+    index_ = std::move(rebuilt);
+    return Status::Corruption("localstore: index diverged from log replay");
+  }
+  index_ = std::move(rebuilt);
+  stats_.live_records = index_.size();
+  return Status::OK();
+}
+
+void LocalStore::MaybeCompact() {
+  if (log_.size() < options_.compaction_min_records) return;
+  double garbage =
+      1.0 - static_cast<double>(index_.size()) / static_cast<double>(log_.size());
+  if (garbage > options_.compaction_garbage_ratio) Compact();
+}
+
+void LocalStore::Compact() {
+  std::vector<LogRecord> new_log;
+  new_log.reserve(index_.size());
+  for (auto& [key, pos] : index_) {
+    new_log.push_back(std::move(log_[pos]));
+    pos = new_log.size() - 1;
+  }
+  log_ = std::move(new_log);
+  stats_.compactions += 1;
+}
+
+}  // namespace orchestra::localstore

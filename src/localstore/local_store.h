@@ -1,0 +1,109 @@
+// LocalStore: the per-node embedded ordered key/value store. The paper's
+// prototype used BerkeleyDB Java Edition for "persistent storage of data"
+// (§VI); this is our from-scratch substitute with the same contract: an
+// ordered map of byte-string keys to byte-string values with range scans.
+//
+// Structure is log-structured (append-only record log + in-memory ordered
+// index), in the spirit of the log-structured filesystems that inspired the
+// paper's versioned page scheme (§IV): writes append; the index points at
+// live records; compaction reclaims superseded records; Recover() rebuilds
+// the index by replaying the log.
+#ifndef ORCHESTRA_LOCALSTORE_LOCAL_STORE_H_
+#define ORCHESTRA_LOCALSTORE_LOCAL_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace orchestra::localstore {
+
+struct StoreStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t log_records = 0;       // total records ever appended
+  uint64_t log_bytes = 0;         // total bytes ever appended
+  uint64_t live_records = 0;      // records reachable from the index
+  uint64_t compactions = 0;
+};
+
+struct StoreOptions {
+  /// Compact when dead records exceed this fraction of the log.
+  double compaction_garbage_ratio = 0.5;
+  /// Do not compact below this many records.
+  uint64_t compaction_min_records = 4096;
+};
+
+class LocalStore {
+ public:
+  explicit LocalStore(StoreOptions options = {});
+
+  /// Inserts or overwrites.
+  Status Put(std::string_view key, std::string_view value);
+  /// Fails with NotFound if absent.
+  Result<std::string> Get(std::string_view key) const;
+  bool Contains(std::string_view key) const;
+  /// Idempotent; OK even if absent.
+  Status Delete(std::string_view key);
+
+  /// Ordered forward iteration over live entries.
+  class Iterator {
+   public:
+    bool Valid() const { return it_ != end_; }
+    void Next() { ++it_; }
+    std::string_view key() const { return it_->first; }
+    std::string_view value() const;
+
+   private:
+    friend class LocalStore;
+    using MapIt = std::map<std::string, uint64_t, std::less<>>::const_iterator;
+    Iterator(const LocalStore* store, MapIt it, MapIt end)
+        : store_(store), it_(it), end_(end) {}
+    const LocalStore* store_;
+    MapIt it_;
+    MapIt end_;
+  };
+
+  /// Iterator positioned at the first key >= `start`.
+  Iterator Seek(std::string_view start) const;
+  /// Iterator over keys with the given prefix (end bound computed).
+  Iterator SeekPrefix(std::string_view prefix) const;
+  /// True while `it` is still within `prefix`.
+  static bool WithinPrefix(const Iterator& it, std::string_view prefix);
+
+  size_t entry_count() const { return index_.size(); }
+  const StoreStats& stats() const { return stats_; }
+
+  /// Discards the index and rebuilds it by replaying the log. Verifies the
+  /// log-structured invariant; exposed for tests and failure drills.
+  Status Recover();
+
+  /// Forces a compaction pass regardless of the garbage ratio.
+  void Compact();
+
+ private:
+  struct LogRecord {
+    bool is_delete;
+    std::string key;
+    std::string value;
+  };
+
+  void MaybeCompact();
+  void Append(bool is_delete, std::string_view key, std::string_view value);
+
+  StoreOptions options_;
+  std::vector<LogRecord> log_;
+  // Index maps key -> position in log_ of the live record.
+  std::map<std::string, uint64_t, std::less<>> index_;
+  StoreStats stats_;
+};
+
+}  // namespace orchestra::localstore
+
+#endif  // ORCHESTRA_LOCALSTORE_LOCAL_STORE_H_

@@ -1,0 +1,63 @@
+// Volcano-style query optimizer (§VI, "Query Optimizer"): top-down plan
+// enumeration with memoization over table subsets, branch-and-bound pruning
+// against the best complete plan, bushy and linear join trees, and a cost
+// model that charges each pipeline stage at the slowest node/link that must
+// participate (with the paper's uniform-partitioning assumption).
+//
+// Physical properties tracked per candidate:
+//   * hash-partitioning columns (a join requires both inputs partitioned on
+//     its keys; relations partitioned on their storage key get this for free
+//     — the Fig. 6 "S is not rehashed" optimization),
+//   * broadcast (replicate-everywhere relations scanned fully at each node).
+#ifndef ORCHESTRA_OPTIMIZER_OPTIMIZER_H_
+#define ORCHESTRA_OPTIMIZER_OPTIMIZER_H_
+
+#include <string>
+
+#include "optimizer/logical.h"
+#include "query/plan.h"
+#include "sim/cost_model.h"
+
+namespace orchestra::optimizer {
+
+/// Deployment-level knobs for costing (the paper's optimizer stores machine
+/// CPU/disk performance and pairwise bandwidth).
+struct CostParams {
+  size_t num_nodes = 4;
+  double cpu_speed = 1.0;                    // relative to the cost model's unit
+  double bandwidth_bytes_per_sec = 125.0e6;  // slowest link
+  double latency_us = 100;
+  const sim::CostModel* costs = &sim::CostModel::Default();
+};
+
+struct PlannedQuery {
+  query::PhysicalPlan plan;
+  double estimated_cost_us = 0;
+  double estimated_rows = 0;
+};
+
+class Optimizer {
+ public:
+  Optimizer(StatsCatalog stats, CostParams params)
+      : stats_(std::move(stats)), params_(params) {}
+
+  /// Plans an analyzed single-block query into a distributed physical plan.
+  Result<PlannedQuery> Plan(const AnalyzedQuery& q);
+
+  /// Statistics observed during the last Plan() call (for tests/ablations).
+  struct SearchStats {
+    size_t memo_entries = 0;
+    size_t candidates_generated = 0;
+    size_t pruned_by_bound = 0;
+  };
+  const SearchStats& search_stats() const { return search_stats_; }
+
+ private:
+  StatsCatalog stats_;
+  CostParams params_;
+  SearchStats search_stats_;
+};
+
+}  // namespace orchestra::optimizer
+
+#endif  // ORCHESTRA_OPTIMIZER_OPTIMIZER_H_

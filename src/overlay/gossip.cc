@@ -1,0 +1,59 @@
+#include "overlay/gossip.h"
+
+#include <algorithm>
+
+#include "common/serial.h"
+
+namespace orchestra::overlay {
+
+GossipService::GossipService(net::NodeHost* host, std::vector<net::NodeId> peers,
+                             uint64_t seed, sim::SimTime interval_us)
+    : host_(host), peers_(std::move(peers)), rng_(seed), interval_us_(interval_us) {
+  peers_.erase(std::remove(peers_.begin(), peers_.end(), host_->node()), peers_.end());
+  host_->Register(net::ServiceId::kGossip, this);
+}
+
+void GossipService::Start() {
+  if (running_) return;
+  running_ = true;
+  // Desynchronize nodes' timers with a random initial offset.
+  sim::SimTime offset = static_cast<sim::SimTime>(rng_.Uniform(interval_us_ + 1));
+  host_->network()->RunOnNode(host_->node(),
+                              host_->network()->simulator()->now() + offset,
+                              [this] { Tick(); });
+}
+
+void GossipService::AdvanceTo(uint64_t epoch) { epoch_ = std::max(epoch_, epoch); }
+
+void GossipService::Tick() {
+  if (!running_) return;
+  if (!peers_.empty()) {
+    net::NodeId peer = peers_[rng_.Uniform(peers_.size())];
+    Writer w;
+    w.PutU64(epoch_);
+    host_->SendTo(peer, net::ServiceId::kGossip, kPush, w.Release());
+  }
+  host_->network()->RunOnNode(host_->node(),
+                              host_->network()->simulator()->now() + interval_us_,
+                              [this] { Tick(); });
+}
+
+void GossipService::OnMessage(net::NodeId from, uint16_t code,
+                              const std::string& payload) {
+  Reader r(payload);
+  uint64_t theirs = 0;
+  if (!r.GetU64(&theirs).ok()) return;
+  if (code == kPush && epoch_ > theirs) {
+    // Pull half of push-pull: tell the sender about the newer epoch.
+    Writer w;
+    w.PutU64(epoch_);
+    host_->SendTo(from, net::ServiceId::kGossip, kPushPullReply, w.Release());
+  }
+  epoch_ = std::max(epoch_, theirs);
+}
+
+void GossipService::OnConnectionDrop(net::NodeId peer) {
+  peers_.erase(std::remove(peers_.begin(), peers_.end(), peer), peers_.end());
+}
+
+}  // namespace orchestra::overlay

@@ -1,0 +1,49 @@
+// Epoch gossip (§IV): "The current epoch can be determined through a simple
+// 'gossip' protocol and does not require a single point of failure." Each
+// node keeps the highest epoch it has heard of; periodically it push-pulls
+// with a random peer. A publisher advances its own counter, and the new epoch
+// spreads in O(log n) rounds.
+#ifndef ORCHESTRA_OVERLAY_GOSSIP_H_
+#define ORCHESTRA_OVERLAY_GOSSIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/node_host.h"
+
+namespace orchestra::overlay {
+
+class GossipService : public net::Service {
+ public:
+  /// `peers` is the full membership (complete routing tables make it known).
+  GossipService(net::NodeHost* host, std::vector<net::NodeId> peers, uint64_t seed,
+                sim::SimTime interval_us = 500 * sim::kMicrosPerMilli);
+
+  /// Begins the periodic gossip timer.
+  void Start();
+  void Stop() { running_ = false; }
+
+  uint64_t epoch() const { return epoch_; }
+  /// Local advance (called when this participant publishes a batch).
+  void AdvanceTo(uint64_t epoch);
+
+  void OnMessage(net::NodeId from, uint16_t code, const std::string& payload) override;
+  void OnConnectionDrop(net::NodeId peer) override;
+
+ private:
+  enum Code : uint16_t { kPush = 1, kPushPullReply = 2 };
+
+  void Tick();
+
+  net::NodeHost* host_;
+  std::vector<net::NodeId> peers_;
+  Rng rng_;
+  sim::SimTime interval_us_;
+  uint64_t epoch_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace orchestra::overlay
+
+#endif  // ORCHESTRA_OVERLAY_GOSSIP_H_

@@ -1,0 +1,342 @@
+#include "query/expr.h"
+
+#include "common/log.h"
+
+namespace orchestra::query {
+
+Expr Expr::Column(int32_t index) {
+  Expr e;
+  e.kind_ = Kind::kColumn;
+  e.column_ = index;
+  return e;
+}
+
+Expr Expr::Literal(Value v) {
+  Expr e;
+  e.kind_ = Kind::kLiteral;
+  e.literal_ = std::move(v);
+  return e;
+}
+
+Expr Expr::Arith(char op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.kind_ = Kind::kArith;
+  e.op_ = op;
+  e.args_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+Expr Expr::Compare(char op, Expr lhs, Expr rhs) {
+  Expr e;
+  e.kind_ = Kind::kCompare;
+  e.op_ = op;
+  e.args_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+Expr Expr::And(Expr lhs, Expr rhs) {
+  Expr e;
+  e.kind_ = Kind::kAnd;
+  e.args_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+Expr Expr::Or(Expr lhs, Expr rhs) {
+  Expr e;
+  e.kind_ = Kind::kOr;
+  e.args_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+Expr Expr::Not(Expr inner) {
+  Expr e;
+  e.kind_ = Kind::kNot;
+  e.args_ = {std::move(inner)};
+  return e;
+}
+
+Expr Expr::Concat(std::vector<Expr> args) {
+  Expr e;
+  e.kind_ = Kind::kConcat;
+  e.args_ = std::move(args);
+  return e;
+}
+
+Value Expr::Eval(const Tuple& row) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      ORC_CHECK(column_ >= 0 && static_cast<size_t>(column_) < row.size(),
+                "column " << column_ << " out of range " << row.size());
+      return row[column_];
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kArith: {
+      Value a = args_[0].Eval(row), b = args_[1].Eval(row);
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+        int64_t x = a.AsInt64(), y = b.AsInt64();
+        switch (op_) {
+          case '+': return Value(x + y);
+          case '-': return Value(x - y);
+          case '*': return Value(x * y);
+          case '/': return y == 0 ? Value::Null() : Value(x / y);
+        }
+      } else {
+        double x = a.NumericValue(), y = b.NumericValue();
+        switch (op_) {
+          case '+': return Value(x + y);
+          case '-': return Value(x - y);
+          case '*': return Value(x * y);
+          case '/': return y == 0 ? Value::Null() : Value(x / y);
+        }
+      }
+      return Value::Null();
+    }
+    case Kind::kCompare: {
+      Value a = args_[0].Eval(row), b = args_[1].Eval(row);
+      if (a.is_null() || b.is_null()) return Value(int64_t{0});
+      int c = a.Compare(b);
+      bool result = false;
+      switch (op_) {
+        case '<': result = c < 0; break;
+        case 'L': result = c <= 0; break;
+        case '=': result = c == 0; break;
+        case '!': result = c != 0; break;
+        case 'G': result = c >= 0; break;
+        case '>': result = c > 0; break;
+      }
+      return Value(int64_t{result ? 1 : 0});
+    }
+    case Kind::kAnd:
+      return Value(int64_t{args_[0].EvalBool(row) && args_[1].EvalBool(row) ? 1 : 0});
+    case Kind::kOr:
+      return Value(int64_t{args_[0].EvalBool(row) || args_[1].EvalBool(row) ? 1 : 0});
+    case Kind::kNot:
+      return Value(int64_t{args_[0].EvalBool(row) ? 0 : 1});
+    case Kind::kConcat: {
+      std::string out;
+      for (const Expr& a : args_) {
+        Value v = a.Eval(row);
+        if (v.is_null()) continue;
+        if (v.type() == ValueType::kString) {
+          out += v.AsString();
+        } else {
+          std::string s = v.ToString();
+          // Strip the quotes ToString adds around strings; numerics pass through.
+          out += s;
+        }
+      }
+      return Value(std::move(out));
+    }
+  }
+  return Value::Null();
+}
+
+bool Expr::EvalBool(const Tuple& row) const {
+  Value v = Eval(row);
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kInt64) return v.AsInt64() != 0;
+  if (v.type() == ValueType::kDouble) return v.AsDouble() != 0;
+  return !v.AsString().empty();
+}
+
+void Expr::CollectColumns(std::vector<int32_t>* out) const {
+  if (kind_ == Kind::kColumn) out->push_back(column_);
+  for (const Expr& a : args_) a.CollectColumns(out);
+}
+
+Expr Expr::RemapColumns(const std::vector<int32_t>& mapping) const {
+  Expr e = *this;
+  if (e.kind_ == Kind::kColumn) {
+    ORC_CHECK(static_cast<size_t>(e.column_) < mapping.size(), "remap out of range");
+    e.column_ = mapping[e.column_];
+  }
+  for (Expr& a : e.args_) a = a.RemapColumns(mapping);
+  return e;
+}
+
+void Expr::EncodeTo(Writer* w) const {
+  w->PutU8(static_cast<uint8_t>(kind_));
+  switch (kind_) {
+    case Kind::kColumn:
+      w->PutVarint32(static_cast<uint32_t>(column_));
+      break;
+    case Kind::kLiteral:
+      literal_.EncodeTo(w);
+      break;
+    case Kind::kArith:
+    case Kind::kCompare:
+      w->PutU8(static_cast<uint8_t>(op_));
+      break;
+    default:
+      break;
+  }
+  if (kind_ != Kind::kColumn && kind_ != Kind::kLiteral) {
+    w->PutVarint32(static_cast<uint32_t>(args_.size()));
+    for (const Expr& a : args_) a.EncodeTo(w);
+  }
+}
+
+Status Expr::DecodeFrom(Reader* r, Expr* out, int depth) {
+  if (depth > 64) return Status::Corruption("expr: nesting too deep");
+  uint8_t kind;
+  ORC_RETURN_IF_ERROR(r->GetU8(&kind));
+  out->kind_ = static_cast<Kind>(kind);
+  switch (out->kind_) {
+    case Kind::kColumn: {
+      uint32_t col;
+      ORC_RETURN_IF_ERROR(r->GetVarint32(&col));
+      out->column_ = static_cast<int32_t>(col);
+      return Status::OK();
+    }
+    case Kind::kLiteral:
+      return Value::DecodeFrom(r, &out->literal_);
+    case Kind::kArith:
+    case Kind::kCompare: {
+      uint8_t op;
+      ORC_RETURN_IF_ERROR(r->GetU8(&op));
+      out->op_ = static_cast<char>(op);
+      break;
+    }
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+    case Kind::kConcat:
+      break;
+    default:
+      return Status::Corruption("expr: bad kind");
+  }
+  uint32_t n;
+  ORC_RETURN_IF_ERROR(r->GetVarint32(&n));
+  if (n > 64) return Status::Corruption("expr: too many args");
+  out->args_.resize(n);
+  for (auto& a : out->args_) {
+    ORC_RETURN_IF_ERROR(DecodeFrom(r, &a, depth + 1));
+  }
+  return Status::OK();
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kColumn: return "$" + std::to_string(column_);
+    case Kind::kLiteral: return literal_.ToString();
+    case Kind::kArith:
+    case Kind::kCompare: {
+      std::string op(1, op_);
+      if (op_ == 'L') op = "<=";
+      if (op_ == 'G') op = ">=";
+      if (op_ == '!') op = "<>";
+      return "(" + args_[0].ToString() + " " + op + " " + args_[1].ToString() + ")";
+    }
+    case Kind::kAnd: return "(" + args_[0].ToString() + " AND " + args_[1].ToString() + ")";
+    case Kind::kOr: return "(" + args_[0].ToString() + " OR " + args_[1].ToString() + ")";
+    case Kind::kNot: return "NOT " + args_[0].ToString();
+    case Kind::kConcat: {
+      std::string s = "CONCAT(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i) s += ", ";
+        s += args_[i].ToString();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kSum: return "SUM";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+  }
+  return "?";
+}
+
+void AggSpec::EncodeTo(Writer* w) const {
+  w->PutU8(static_cast<uint8_t>(fn));
+  w->PutBool(has_arg);
+  if (has_arg) arg.EncodeTo(w);
+}
+
+Status AggSpec::DecodeFrom(Reader* r, AggSpec* out) {
+  uint8_t fn;
+  ORC_RETURN_IF_ERROR(r->GetU8(&fn));
+  out->fn = static_cast<AggFn>(fn);
+  ORC_RETURN_IF_ERROR(r->GetBool(&out->has_arg));
+  if (out->has_arg) {
+    ORC_RETURN_IF_ERROR(Expr::DecodeFrom(r, &out->arg));
+  }
+  return Status::OK();
+}
+
+void AggState::Update(const Value& v) {
+  switch (fn_) {
+    case AggFn::kCount:
+      if (!v.is_null()) count_ += 1;
+      return;
+    case AggFn::kSum:
+      if (v.is_null()) return;
+      count_ += 1;
+      if (v.type() == ValueType::kDouble) {
+        is_double_ = true;
+        sum_d_ += v.AsDouble();
+      } else {
+        sum_i_ += v.AsInt64();
+      }
+      return;
+    case AggFn::kMin:
+      if (v.is_null()) return;
+      if (!has_minmax_ || v.Compare(minmax_) < 0) {
+        minmax_ = v;
+        has_minmax_ = true;
+      }
+      return;
+    case AggFn::kMax:
+      if (v.is_null()) return;
+      if (!has_minmax_ || v.Compare(minmax_) > 0) {
+        minmax_ = v;
+        has_minmax_ = true;
+      }
+      return;
+  }
+}
+
+void AggState::Merge(const Value& partial) {
+  if (partial.is_null()) return;
+  switch (fn_) {
+    case AggFn::kCount:
+      count_ += partial.AsInt64();
+      return;
+    case AggFn::kSum:
+      count_ += 1;
+      if (partial.type() == ValueType::kDouble) {
+        is_double_ = true;
+        sum_d_ += partial.AsDouble();
+      } else {
+        sum_i_ += partial.AsInt64();
+      }
+      return;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      Update(partial);
+      return;
+  }
+}
+
+Value AggState::Finish() const {
+  switch (fn_) {
+    case AggFn::kCount:
+      return Value(count_);
+    case AggFn::kSum:
+      if (count_ == 0) return Value::Null();
+      if (is_double_) return Value(sum_d_ + static_cast<double>(sum_i_));
+      return Value(sum_i_);
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return has_minmax_ ? minmax_ : Value::Null();
+  }
+  return Value::Null();
+}
+
+}  // namespace orchestra::query

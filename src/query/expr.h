@@ -1,0 +1,111 @@
+// Scalar expressions evaluated by the compute-function, select, and join
+// operators (Table I), and aggregate specifications. Expressions serialize
+// into query plans for dissemination.
+#ifndef ORCHESTRA_QUERY_EXPR_H_
+#define ORCHESTRA_QUERY_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace orchestra::query {
+
+using storage::Tuple;
+using storage::Value;
+using storage::ValueType;
+
+/// Expression tree. Comparison/logic operators evaluate to INT64 0/1.
+class Expr {
+ public:
+  enum class Kind : uint8_t {
+    kColumn = 0,   // input column reference
+    kLiteral = 1,
+    kArith = 2,    // op in {+,-,*,/}
+    kCompare = 3,  // op in {<,L(<=),=,!,G(>=),>}   (! is <>)
+    kAnd = 4,
+    kOr = 5,
+    kNot = 6,
+    kConcat = 7,   // string concatenation of all args
+  };
+
+  Expr() = default;
+
+  static Expr Column(int32_t index);
+  static Expr Literal(Value v);
+  static Expr Arith(char op, Expr lhs, Expr rhs);
+  static Expr Compare(char op, Expr lhs, Expr rhs);
+  static Expr And(Expr lhs, Expr rhs);
+  static Expr Or(Expr lhs, Expr rhs);
+  static Expr Not(Expr e);
+  static Expr Concat(std::vector<Expr> args);
+
+  Kind kind() const { return kind_; }
+  int32_t column() const { return column_; }
+  const Value& literal() const { return literal_; }
+  char op() const { return op_; }
+  const std::vector<Expr>& args() const { return args_; }
+
+  /// Evaluates against a row. Null propagates through arithmetic and makes
+  /// comparisons false (SQL-ish two-valued logic is enough for our plans).
+  Value Eval(const Tuple& row) const;
+  /// Eval + truthiness (non-null, non-zero).
+  bool EvalBool(const Tuple& row) const;
+
+  /// All column indexes referenced.
+  void CollectColumns(std::vector<int32_t>* out) const;
+  /// Rewrites column references through a mapping (old index -> new index).
+  Expr RemapColumns(const std::vector<int32_t>& mapping) const;
+
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, Expr* out, int depth = 0);
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kLiteral;
+  int32_t column_ = 0;
+  Value literal_;
+  char op_ = 0;
+  std::vector<Expr> args_;
+};
+
+/// Aggregate functions; AVG is decomposed into SUM/COUNT by the planner.
+enum class AggFn : uint8_t { kCount = 0, kSum = 1, kMin = 2, kMax = 3 };
+
+const char* AggFnName(AggFn fn);
+
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  bool has_arg = false;  // COUNT(*) has none
+  Expr arg;
+
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, AggSpec* out);
+};
+
+/// Running aggregate state.
+class AggState {
+ public:
+  explicit AggState(AggFn fn) : fn_(fn) {}
+  /// Accumulates one input value (ignored for COUNT(*) which counts rows).
+  void Update(const Value& v);
+  void UpdateCountStar() { count_ += 1; }
+  /// Merges a partial result produced by Finish() at another node
+  /// (re-aggregation, Table I): COUNT partials add, SUM adds, MIN/MAX fold.
+  void Merge(const Value& partial);
+  Value Finish() const;
+
+ private:
+  AggFn fn_;
+  int64_t count_ = 0;
+  bool is_double_ = false;
+  int64_t sum_i_ = 0;
+  double sum_d_ = 0;
+  bool has_minmax_ = false;
+  Value minmax_;
+};
+
+}  // namespace orchestra::query
+
+#endif  // ORCHESTRA_QUERY_EXPR_H_

@@ -1,0 +1,188 @@
+// Runtime operator instances (Table I). One instance of every plan operator
+// runs at every node in the snapshot; intra-node edges are direct calls,
+// Rehash/Ship edges cross the network (handled by the QueryService).
+//
+// Recovery hooks (§V-D): PurgeTainted drops state derived from failed nodes;
+// ResetForPhase re-arms end-of-stream bookkeeping so the EOS wave can re-run
+// in the new phase without re-emitting already-delivered results.
+#ifndef ORCHESTRA_QUERY_OPERATORS_H_
+#define ORCHESTRA_QUERY_OPERATORS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/block.h"
+#include "query/plan.h"
+#include "sim/cost_model.h"
+
+namespace orchestra::query {
+
+/// Per-(node, query) execution context shared by all operator instances.
+struct ExecContext {
+  net::NodeId self = net::kInvalidNode;
+  size_t taint_bits = 0;
+  uint32_t phase = 0;
+  DynamicBitset failed;  // cumulative failed node set (bit index = NodeId)
+  const sim::CostModel* costs = nullptr;
+
+  /// Charges simulated CPU to this node.
+  std::function<void(double)> charge;
+  /// Rehash output: route a row of rehash op `op_id` to its hash destination.
+  std::function<void(int32_t op_id, BlockRow row)> route;
+  /// Ship output: deliver a row toward the query initiator.
+  std::function<void(BlockRow row)> ship;
+  /// A Rehash op's local input is exhausted (flush + ack-gate + EOS markers).
+  std::function<void(int32_t op_id)> rehash_child_eos;
+  /// The Ship op's local input is exhausted.
+  std::function<void()> ship_child_eos;
+};
+
+class Operator {
+ public:
+  Operator(const PhysOp* def, ExecContext* cx)
+      : def_(def), cx_(cx), child_eos_(std::max<size_t>(def->children.size(), 1), false) {}
+  virtual ~Operator() = default;
+
+  void SetParent(Operator* parent, size_t child_idx) {
+    parent_ = parent;
+    child_idx_in_parent_ = child_idx;
+  }
+
+  const PhysOp& def() const { return *def_; }
+
+  /// Delivers one row from child `child_idx` (0 for unary ops).
+  virtual void Consume(size_t child_idx, BlockRow row) = 0;
+  /// Child `child_idx`'s stream ended (for network children this fires when
+  /// EOS markers from all live senders arrived).
+  virtual void OnChildEos(size_t child_idx);
+  /// Drops operator state tainted by cx->failed (§V-D stage 2).
+  virtual void PurgeTainted() {}
+  /// Re-arms EOS state for a new recovery phase.
+  virtual void ResetForPhase();
+
+  bool eos_propagated() const { return eos_propagated_; }
+
+ protected:
+  void EmitUp(BlockRow row) {
+    if (parent_ != nullptr) parent_->Consume(child_idx_in_parent_, std::move(row));
+  }
+  /// Called once per phase when every child stream has ended.
+  virtual void OnAllChildrenEos() { PropagateEos(); }
+  void PropagateEos() {
+    if (eos_propagated_) return;
+    eos_propagated_ = true;
+    if (parent_ != nullptr) parent_->OnChildEos(child_idx_in_parent_);
+  }
+
+  const PhysOp* def_;
+  ExecContext* cx_;
+  Operator* parent_ = nullptr;
+  size_t child_idx_in_parent_ = 0;
+  std::vector<bool> child_eos_;
+  bool eos_propagated_ = false;
+};
+
+/// Leaf scan (both variants). Rows are injected by the QueryService's scan
+/// driver; EOS is signalled when the scan barrier for the current phase is
+/// satisfied.
+class ScanOp : public Operator {
+ public:
+  using Operator::Operator;
+  void Consume(size_t, BlockRow) override;  // never called (leaf)
+  void Inject(BlockRow row) { EmitUp(std::move(row)); }
+  void SignalEos() { OnAllChildrenEos(); }
+};
+
+class SelectOp : public Operator {
+ public:
+  using Operator::Operator;
+  void Consume(size_t child_idx, BlockRow row) override;
+};
+
+class ProjectOp : public Operator {
+ public:
+  using Operator::Operator;
+  void Consume(size_t child_idx, BlockRow row) override;
+};
+
+class ComputeOp : public Operator {
+ public:
+  using Operator::Operator;
+  void Consume(size_t child_idx, BlockRow row) override;
+};
+
+/// Pipelined (symmetric) hash join [17]: both inputs build as they arrive and
+/// probe the opposite table, so the operator never blocks.
+class HashJoinOp : public Operator {
+ public:
+  using Operator::Operator;
+  void Consume(size_t child_idx, BlockRow row) override;
+  void PurgeTainted() override;
+  size_t state_size() const { return sides_[0].size() + sides_[1].size(); }
+
+ private:
+  std::string KeyOf(const Tuple& t, const std::vector<int32_t>& cols) const;
+  std::unordered_multimap<std::string, BlockRow> sides_[2];
+};
+
+/// Blocking hash aggregation with re-aggregation support. Each group is
+/// partitioned into sub-groups keyed by the contributing node set so that
+/// recovery can drop exactly the tainted portion (§V-D).
+class AggregateOp : public Operator {
+ public:
+  using Operator::Operator;
+  void Consume(size_t child_idx, BlockRow row) override;
+  void PurgeTainted() override;
+  size_t group_count() const { return groups_.size(); }
+
+ protected:
+  void OnAllChildrenEos() override;
+
+ private:
+  struct SubGroup {
+    std::vector<AggState> states;
+    bool emitted = false;
+  };
+  struct Group {
+    Tuple group_vals;
+    std::unordered_map<DynamicBitset, SubGroup, DynamicBitsetHash> subs;
+  };
+  std::map<std::string, Group> groups_;
+};
+
+/// Rehash: partitions its input by hash of `hash_cols` and sends rows to the
+/// owning nodes under the query's routing table. Output caching, ack
+/// tracking, and EOS markers live in the QueryService.
+class RehashOp : public Operator {
+ public:
+  using Operator::Operator;
+  void Consume(size_t child_idx, BlockRow row) override;
+
+ protected:
+  void OnAllChildrenEos() override { cx_->rehash_child_eos(def_->id); }
+};
+
+/// Ship: sends rows to the query initiator.
+class ShipOp : public Operator {
+ public:
+  using Operator::Operator;
+  void Consume(size_t child_idx, BlockRow row) override;
+
+ protected:
+  void OnAllChildrenEos() override { cx_->ship_child_eos(); }
+};
+
+/// Instantiates the operator for a plan node.
+std::unique_ptr<Operator> MakeOperator(const PhysOp* def, ExecContext* cx);
+
+/// Hash of the values in `cols` of `t`, for rehash routing: equal values
+/// always land on the same node.
+HashId RowHash(const Tuple& t, const std::vector<int32_t>& cols);
+
+}  // namespace orchestra::query
+
+#endif  // ORCHESTRA_QUERY_OPERATORS_H_

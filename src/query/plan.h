@@ -1,0 +1,117 @@
+// Physical query plans. A plan is a tree of the Table I operators; it is
+// serialized and disseminated to every node in the routing snapshot together
+// with the snapshot itself (§V-A). Leaf scans resolve their versioned page
+// lists at the initiator (via relation coordinators) so that every node sees
+// one consistent epoch of every relation.
+#ifndef ORCHESTRA_QUERY_PLAN_H_
+#define ORCHESTRA_QUERY_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "query/expr.h"
+#include "storage/page.h"
+#include "storage/service.h"
+
+namespace orchestra::query {
+
+/// Operator kinds, directly mirroring Table I. (Select, Project, and
+/// Compute-function are distinct pipelined operators; Rehash and Ship are
+/// the network boundaries.)
+enum class OpKind : uint8_t {
+  kScan = 0,          // distributed scan: index nodes + data storage nodes
+  kCoveringScan = 1,  // index-only scan: key attributes from the index pages
+  kSelect = 2,
+  kProject = 3,
+  kCompute = 4,       // scalar function evaluation
+  kHashJoin = 5,      // pipelined (symmetric) hash join
+  kAggregate = 6,     // blocking hash aggregation, supports re-aggregation
+  kRehash = 7,
+  kShip = 8,
+};
+
+const char* OpKindName(OpKind k);
+
+struct PhysOp {
+  OpKind kind = OpKind::kScan;
+  int32_t id = -1;
+  std::vector<int32_t> children;
+
+  // kScan / kCoveringScan
+  std::string relation;
+  storage::KeyFilter key_filter;
+  /// Scan a replicate-everywhere relation fully at every node (broadcast
+  /// join input) instead of partition-by-partition.
+  bool broadcast_local = false;
+
+  // kSelect
+  Expr predicate;
+
+  // kProject
+  std::vector<int32_t> columns;
+
+  // kCompute: output row = one value per expression
+  std::vector<Expr> exprs;
+
+  // kHashJoin (children = [left, right]); output = left columns ++ right
+  std::vector<int32_t> left_keys, right_keys;
+
+  // kAggregate: output = group columns ++ aggregate values
+  std::vector<int32_t> group_cols;
+  std::vector<AggSpec> aggs;
+  /// True when inputs are partial aggregates to re-aggregate (Table I).
+  bool merge_partials = false;
+
+  // kRehash
+  std::vector<int32_t> hash_cols;
+
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, PhysOp* out);
+};
+
+/// Work the initiator performs on collected rows after all Ships finish:
+/// re-aggregation of partials, post-computation, sort, and limit. Pure
+/// function of the (taint-filtered) result buffer, which is what makes
+/// recovery at the initiator a simple purge-and-recompute.
+struct FinalStage {
+  bool has_agg = false;
+  std::vector<int32_t> group_cols;
+  std::vector<AggSpec> aggs;  // in merge mode over shipped partials
+
+  bool has_post = false;
+  std::vector<Expr> post_exprs;
+
+  struct SortKey {
+    int32_t col = 0;
+    bool asc = true;
+  };
+  std::vector<SortKey> sort;
+  int64_t limit = -1;
+
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, FinalStage* out);
+
+  /// Applies this stage to raw shipped rows.
+  std::vector<Tuple> Apply(const std::vector<Tuple>& rows) const;
+};
+
+struct PhysicalPlan {
+  std::vector<PhysOp> ops;  // ops[i].id == i
+  int32_t root = -1;        // must be a kShip
+  FinalStage final_stage;
+
+  const PhysOp& op(int32_t id) const { return ops[id]; }
+  /// Parent op id of each op (-1 for root), derived from children lists.
+  std::vector<int32_t> ParentIds() const;
+  /// Ids of scan leaves.
+  std::vector<int32_t> ScanOpIds() const;
+  Status Validate() const;
+
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, PhysicalPlan* out);
+  std::string ToString() const;
+};
+
+}  // namespace orchestra::query
+
+#endif  // ORCHESTRA_QUERY_PLAN_H_

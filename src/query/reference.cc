@@ -1,0 +1,185 @@
+#include "query/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "storage/schema.h"
+
+namespace orchestra::query {
+
+namespace {
+
+struct RefEval {
+  const PhysicalPlan& plan;
+  const ReferenceDatabase& db;
+
+  Result<std::vector<Tuple>> Eval(int32_t id) {  // NOLINT(misc-no-recursion)
+    const PhysOp& op = plan.op(id);
+    switch (op.kind) {
+      case OpKind::kScan:
+      case OpKind::kCoveringScan: {
+        auto it = db.find(op.relation);
+        if (it == db.end()) {
+          return Status::NotFound("reference: no relation " + op.relation);
+        }
+        std::vector<Tuple> out;
+        for (const Tuple& t : it->second) out.push_back(t);
+        return out;
+      }
+      case OpKind::kSelect: {
+        ORC_ASSIGN_OR_RETURN(auto in, Eval(op.children[0]));
+        std::vector<Tuple> out;
+        for (Tuple& t : in) {
+          if (op.predicate.EvalBool(t)) out.push_back(std::move(t));
+        }
+        return out;
+      }
+      case OpKind::kProject: {
+        ORC_ASSIGN_OR_RETURN(auto in, Eval(op.children[0]));
+        std::vector<Tuple> out;
+        out.reserve(in.size());
+        for (const Tuple& t : in) {
+          Tuple row;
+          row.reserve(op.columns.size());
+          for (int32_t c : op.columns) row.push_back(t[c]);
+          out.push_back(std::move(row));
+        }
+        return out;
+      }
+      case OpKind::kCompute: {
+        ORC_ASSIGN_OR_RETURN(auto in, Eval(op.children[0]));
+        std::vector<Tuple> out;
+        out.reserve(in.size());
+        for (const Tuple& t : in) {
+          Tuple row;
+          row.reserve(op.exprs.size());
+          for (const Expr& e : op.exprs) row.push_back(e.Eval(t));
+          out.push_back(std::move(row));
+        }
+        return out;
+      }
+      case OpKind::kHashJoin: {
+        ORC_ASSIGN_OR_RETURN(auto left, Eval(op.children[0]));
+        ORC_ASSIGN_OR_RETURN(auto right, Eval(op.children[1]));
+        std::unordered_multimap<std::string, const Tuple*> index;
+        for (const Tuple& r : right) {
+          Writer w;
+          for (int32_t c : op.right_keys) r[c].EncodeTo(&w);
+          index.emplace(w.Release(), &r);
+        }
+        std::vector<Tuple> out;
+        for (const Tuple& l : left) {
+          Writer w;
+          for (int32_t c : op.left_keys) l[c].EncodeTo(&w);
+          auto [lo, hi] = index.equal_range(w.data());
+          for (auto it = lo; it != hi; ++it) {
+            Tuple row = l;
+            row.insert(row.end(), it->second->begin(), it->second->end());
+            out.push_back(std::move(row));
+          }
+        }
+        return out;
+      }
+      case OpKind::kAggregate: {
+        ORC_ASSIGN_OR_RETURN(auto in, Eval(op.children[0]));
+        struct Group {
+          Tuple vals;
+          std::vector<AggState> states;
+        };
+        std::map<std::string, Group> groups;
+        for (const Tuple& t : in) {
+          Writer kw;
+          for (int32_t c : op.group_cols) t[c].EncodeTo(&kw);
+          auto [it, inserted] = groups.try_emplace(kw.data());
+          if (inserted) {
+            for (int32_t c : op.group_cols) it->second.vals.push_back(t[c]);
+            for (const AggSpec& a : op.aggs) it->second.states.emplace_back(a.fn);
+          }
+          for (size_t i = 0; i < op.aggs.size(); ++i) {
+            const AggSpec& a = op.aggs[i];
+            if (op.merge_partials) {
+              it->second.states[i].Merge(a.has_arg ? a.arg.Eval(t) : Value(int64_t{1}));
+            } else if (a.has_arg) {
+              it->second.states[i].Update(a.arg.Eval(t));
+            } else {
+              it->second.states[i].UpdateCountStar();
+            }
+          }
+        }
+        std::vector<Tuple> out;
+        for (auto& [k, g] : groups) {
+          Tuple row = g.vals;
+          for (const AggState& s : g.states) row.push_back(s.Finish());
+          out.push_back(std::move(row));
+        }
+        return out;
+      }
+      case OpKind::kRehash:
+      case OpKind::kShip:
+        return Eval(op.children[0]);
+    }
+    return Status::InvalidArgument("reference: unknown op");
+  }
+};
+
+}  // namespace
+
+Result<std::vector<Tuple>> ReferenceExecute(const PhysicalPlan& plan,
+                                            const ReferenceDatabase& db) {
+  ORC_RETURN_IF_ERROR(plan.Validate());
+  RefEval ev{plan, db};
+  ORC_ASSIGN_OR_RETURN(auto rows, ev.Eval(plan.root));
+  return plan.final_stage.Apply(rows);
+}
+
+bool SameBag(const std::vector<Tuple>& a, const std::vector<Tuple>& b) {
+  if (a.size() != b.size()) return false;
+  auto key = [](const Tuple& t) {
+    Writer w;
+    storage::EncodeTuple(t, &w);
+    return w.Release();
+  };
+  std::multiset<std::string> ma, mb;
+  for (const Tuple& t : a) ma.insert(key(t));
+  for (const Tuple& t : b) mb.insert(key(t));
+  return ma == mb;
+}
+
+bool SameBagApprox(const std::vector<Tuple>& a, const std::vector<Tuple>& b,
+                   double rel_tol) {
+  if (a.size() != b.size()) return false;
+  // Canonical sort, then pairwise compare with tolerance on doubles.
+  auto sorted = [](std::vector<Tuple> rows) {
+    std::sort(rows.begin(), rows.end(),
+              [](const Tuple& x, const Tuple& y) {
+                return storage::CompareTuples(x, y) < 0;
+              });
+    return rows;
+  };
+  std::vector<Tuple> sa = sorted(a), sb = sorted(b);
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].size() != sb[i].size()) return false;
+    for (size_t c = 0; c < sa[i].size(); ++c) {
+      const Value& x = sa[i][c];
+      const Value& y = sb[i][c];
+      bool numeric = (x.type() == storage::ValueType::kDouble ||
+                      y.type() == storage::ValueType::kDouble) &&
+                     !x.is_null() && !y.is_null() &&
+                     x.type() != storage::ValueType::kString &&
+                     y.type() != storage::ValueType::kString;
+      if (numeric) {
+        double dx = x.NumericValue(), dy = y.NumericValue();
+        double scale = std::max({std::abs(dx), std::abs(dy), 1.0});
+        if (std::abs(dx - dy) > rel_tol * scale) return false;
+      } else if (!(x == y)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace orchestra::query

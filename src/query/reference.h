@@ -1,0 +1,36 @@
+// Reference executor: evaluates a physical plan in-process over in-memory
+// relations, ignoring all distribution. Used by tests to check that the
+// distributed engine returns exactly the same bag of rows (correct, complete,
+// duplicate-free — the §V guarantee), and by the CDSS layer for local
+// evaluation of mapping queries.
+#ifndef ORCHESTRA_QUERY_REFERENCE_H_
+#define ORCHESTRA_QUERY_REFERENCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/plan.h"
+
+namespace orchestra::query {
+
+/// Relation name -> rows.
+using ReferenceDatabase = std::map<std::string, std::vector<Tuple>>;
+
+/// Runs `plan` (including its final stage) against `db`. Scans read the named
+/// relations; key filters are ignored only if a relation is missing.
+Result<std::vector<Tuple>> ReferenceExecute(const PhysicalPlan& plan,
+                                            const ReferenceDatabase& db);
+
+/// Multiset equality on rows (order-insensitive result comparison).
+bool SameBag(const std::vector<Tuple>& a, const std::vector<Tuple>& b);
+
+/// Multiset equality tolerating floating-point summation-order differences:
+/// doubles compare equal within `rel_tol` relative error. Distributed partial
+/// aggregation adds doubles in a different order than a sequential run.
+bool SameBagApprox(const std::vector<Tuple>& a, const std::vector<Tuple>& b,
+                   double rel_tol = 1e-9);
+
+}  // namespace orchestra::query
+
+#endif  // ORCHESTRA_QUERY_REFERENCE_H_

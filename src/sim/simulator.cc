@@ -1,0 +1,52 @@
+#include "sim/simulator.h"
+
+#include "common/log.h"
+
+namespace orchestra::sim {
+
+Simulator::EventId Simulator::Schedule(SimTime at, Callback cb) {
+  if (at < now_) at = now_;
+  EventId id = next_id_++;
+  heap_.push(Event{at, id, std::move(cb)});
+  return id;
+}
+
+void Simulator::Cancel(EventId id) { cancelled_.insert(id); }
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    ORC_CHECK(ev.at >= now_, "event in the past");
+    now_ = ev.at;
+    ++fired_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.at > t) break;
+    Step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace orchestra::sim

@@ -1,0 +1,723 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+
+#include "common/log.h"
+
+namespace orchestra::sql {
+
+using optimizer::AnalyzedQuery;
+using optimizer::SelectItem;
+using optimizer::TableRef;
+using query::AggFn;
+using query::Expr;
+using storage::Value;
+
+int64_t DateToDays(int y, int m, int d) {
+  // Howard Hinnant's days_from_civil.
+  y -= m <= 2;
+  int64_t era = (y >= 0 ? y : y - 399) / 400;
+  unsigned yoe = static_cast<unsigned>(y - era * 400);
+  unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+Result<int64_t> ParseDate(const std::string& iso) {
+  int y, m, d;
+  if (std::sscanf(iso.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    return Status::InvalidArgument("bad date literal: " + iso);
+  }
+  return DateToDays(y, m, d);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+enum class Tok : uint8_t {
+  kEnd,
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kSymbol,  // one of ( ) , . * + - / ; and comparison glyphs in text
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;   // identifier (upper-cased keyword check uses upper)
+  std::string upper;  // uppercase of text
+  int64_t int_val = 0;
+  double float_val = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : in_(input) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    size_t i = 0;
+    while (i < in_.size()) {
+      char c = in_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < in_.size() &&
+               (std::isalnum(static_cast<unsigned char>(in_[j])) || in_[j] == '_')) {
+          ++j;
+        }
+        Token t;
+        t.kind = Tok::kIdent;
+        t.text = in_.substr(i, j - i);
+        t.upper = Upper(t.text);
+        out->push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && i + 1 < in_.size() &&
+           std::isdigit(static_cast<unsigned char>(in_[i + 1])))) {
+        size_t j = i;
+        bool is_float = false;
+        while (j < in_.size() && (std::isdigit(static_cast<unsigned char>(in_[j])) ||
+                                  in_[j] == '.')) {
+          if (in_[j] == '.') is_float = true;
+          ++j;
+        }
+        Token t;
+        std::string num = in_.substr(i, j - i);
+        if (is_float) {
+          t.kind = Tok::kFloat;
+          t.float_val = std::stod(num);
+        } else {
+          t.kind = Tok::kInt;
+          t.int_val = std::stoll(num);
+        }
+        out->push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (c == '\'') {
+        size_t j = i + 1;
+        std::string s;
+        while (j < in_.size() && in_[j] != '\'') s += in_[j++];
+        if (j >= in_.size()) return Status::InvalidArgument("unterminated string");
+        Token t;
+        t.kind = Tok::kString;
+        t.text = std::move(s);
+        out->push_back(std::move(t));
+        i = j + 1;
+        continue;
+      }
+      // Multi-char comparison operators.
+      std::string sym(1, c);
+      if ((c == '<' || c == '>' || c == '!') && i + 1 < in_.size()) {
+        char n = in_[i + 1];
+        if (n == '=' || (c == '<' && n == '>')) {
+          sym += n;
+        }
+      }
+      static const std::string kAllowed = "()*,./+-<>=;";
+      if (kAllowed.find(c) == std::string::npos) {
+        return Status::InvalidArgument(std::string("unexpected character '") + c + "'");
+      }
+      Token t;
+      t.kind = Tok::kSymbol;
+      t.text = sym;
+      t.upper = sym;
+      out->push_back(std::move(t));
+      i += sym.size();
+    }
+    out->push_back(Token{});  // kEnd
+    return Status::OK();
+  }
+
+ private:
+  static std::string Upper(const std::string& s) {
+    std::string u = s;
+    std::transform(u.begin(), u.end(), u.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return u;
+  }
+  const std::string& in_;
+};
+
+// ---------------------------------------------------------------------------
+// AST
+
+struct ExprAst {
+  enum class Kind {
+    kLiteral,
+    kColRef,
+    kBinary,  // op: + - * / < <= = <> >= > AND OR
+    kNot,
+    kFunc,  // MIN MAX SUM COUNT AVG CONCAT
+    kStar,  // only inside COUNT(*)
+  };
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  std::string table, column;  // colref
+  std::string op;             // binary
+  std::string func;
+  std::vector<ExprAst> args;
+};
+
+struct ParsedItem {
+  ExprAst expr;
+  std::string alias;
+};
+
+struct ParsedQuery {
+  std::vector<ParsedItem> items;
+  std::vector<std::pair<std::string, std::string>> tables;  // (name, alias)
+  std::optional<ExprAst> where;
+  std::vector<ExprAst> group_by;  // colrefs
+  struct Order {
+    std::string name;  // or empty when positional
+    int64_t position = -1;
+    bool asc = true;
+  };
+  std::vector<Order> order_by;
+  int64_t limit = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery q;
+    ORC_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    while (true) {
+      ParsedItem item;
+      ORC_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("AS")) {
+        if (Cur().kind != Tok::kIdent) return Err("expected alias after AS");
+        item.alias = Cur().text;
+        Advance();
+      }
+      q.items.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+    ORC_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      if (Cur().kind != Tok::kIdent) return Err("expected table name");
+      std::string name = Cur().text;
+      Advance();
+      std::string alias = name;
+      if (Cur().kind == Tok::kIdent && !IsKeyword(Cur().upper)) {
+        alias = Cur().text;
+        Advance();
+      }
+      q.tables.emplace_back(name, alias);
+      if (!AcceptSymbol(",")) break;
+    }
+    if (AcceptKeyword("WHERE")) {
+      ORC_ASSIGN_OR_RETURN(ExprAst w, ParseOr());
+      q.where = std::move(w);
+    }
+    if (AcceptKeyword("GROUP")) {
+      ORC_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        ORC_ASSIGN_OR_RETURN(ExprAst c, ParsePrimary());
+        if (c.kind != ExprAst::Kind::kColRef) return Err("GROUP BY expects columns");
+        q.group_by.push_back(std::move(c));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    if (AcceptKeyword("ORDER")) {
+      ORC_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        ParsedQuery::Order o;
+        if (Cur().kind == Tok::kInt) {
+          o.position = Cur().int_val;
+          Advance();
+        } else if (Cur().kind == Tok::kIdent) {
+          o.name = Cur().text;
+          Advance();
+          if (AcceptSymbol(".")) {  // qualified: keep the column part
+            if (Cur().kind != Tok::kIdent) return Err("bad ORDER BY column");
+            o.name = Cur().text;
+            Advance();
+          }
+        } else {
+          return Err("bad ORDER BY item");
+        }
+        if (AcceptKeyword("DESC")) {
+          o.asc = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        q.order_by.push_back(std::move(o));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Cur().kind != Tok::kInt) return Err("LIMIT expects an integer");
+      q.limit = Cur().int_val;
+      Advance();
+    }
+    AcceptSymbol(";");
+    if (Cur().kind != Tok::kEnd) return Err("trailing input: '" + Cur().text + "'");
+    return q;
+  }
+
+ private:
+  static bool IsKeyword(const std::string& u) {
+    static const char* kw[] = {"SELECT", "FROM",  "WHERE", "GROUP", "BY",
+                               "ORDER",  "ASC",   "DESC",  "LIMIT", "AND",
+                               "OR",     "NOT",   "AS",    "MIN",   "MAX",
+                               "SUM",    "COUNT", "AVG",   "CONCAT", "DATE",
+                               "INTERVAL", "DAY", "BETWEEN"};
+    for (const char* k : kw) {
+      if (u == k) return true;
+    }
+    return false;
+  }
+
+  const Token& Cur() const { return toks_[pos_]; }
+  void Advance() { ++pos_; }
+  bool AcceptSymbol(const std::string& s) {
+    if (Cur().kind == Tok::kSymbol && Cur().text == s) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(const std::string& u) {
+    if (Cur().kind == Tok::kIdent && Cur().upper == u) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& u) {
+    if (!AcceptKeyword(u)) {
+      return Status::InvalidArgument("expected " + u + " near '" + Cur().text + "'");
+    }
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const { return Status::InvalidArgument(msg); }
+
+  // expr := or
+  Result<ExprAst> ParseExpr() { return ParseOr(); }
+
+  Result<ExprAst> ParseOr() {
+    ORC_ASSIGN_OR_RETURN(ExprAst lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      ORC_ASSIGN_OR_RETURN(ExprAst rhs, ParseAnd());
+      ExprAst e;
+      e.kind = ExprAst::Kind::kBinary;
+      e.op = "OR";
+      e.args = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprAst> ParseAnd() {
+    ORC_ASSIGN_OR_RETURN(ExprAst lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      ORC_ASSIGN_OR_RETURN(ExprAst rhs, ParseNot());
+      ExprAst e;
+      e.kind = ExprAst::Kind::kBinary;
+      e.op = "AND";
+      e.args = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprAst> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      ORC_ASSIGN_OR_RETURN(ExprAst inner, ParseNot());
+      ExprAst e;
+      e.kind = ExprAst::Kind::kNot;
+      e.args = {std::move(inner)};
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprAst> ParseComparison() {
+    ORC_ASSIGN_OR_RETURN(ExprAst lhs, ParseAdditive());
+    if (AcceptKeyword("BETWEEN")) {
+      ORC_ASSIGN_OR_RETURN(ExprAst lo, ParseAdditive());
+      ORC_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      ORC_ASSIGN_OR_RETURN(ExprAst hi, ParseAdditive());
+      ExprAst ge;
+      ge.kind = ExprAst::Kind::kBinary;
+      ge.op = ">=";
+      ge.args = {lhs, std::move(lo)};
+      ExprAst le;
+      le.kind = ExprAst::Kind::kBinary;
+      le.op = "<=";
+      le.args = {std::move(lhs), std::move(hi)};
+      ExprAst both;
+      both.kind = ExprAst::Kind::kBinary;
+      both.op = "AND";
+      both.args = {std::move(ge), std::move(le)};
+      return both;
+    }
+    if (Cur().kind == Tok::kSymbol) {
+      std::string op = Cur().text;
+      if (op == "<" || op == "<=" || op == "=" || op == "<>" || op == ">=" ||
+          op == ">" || op == "!=") {
+        Advance();
+        ORC_ASSIGN_OR_RETURN(ExprAst rhs, ParseAdditive());
+        ExprAst e;
+        e.kind = ExprAst::Kind::kBinary;
+        e.op = (op == "!=") ? "<>" : op;
+        e.args = {std::move(lhs), std::move(rhs)};
+        return e;
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprAst> ParseAdditive() {
+    ORC_ASSIGN_OR_RETURN(ExprAst lhs, ParseMultiplicative());
+    while (Cur().kind == Tok::kSymbol && (Cur().text == "+" || Cur().text == "-")) {
+      std::string op = Cur().text;
+      Advance();
+      ORC_ASSIGN_OR_RETURN(ExprAst rhs, ParseMultiplicative());
+      ExprAst e;
+      e.kind = ExprAst::Kind::kBinary;
+      e.op = op;
+      e.args = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprAst> ParseMultiplicative() {
+    ORC_ASSIGN_OR_RETURN(ExprAst lhs, ParsePrimary());
+    while (Cur().kind == Tok::kSymbol && (Cur().text == "*" || Cur().text == "/")) {
+      std::string op = Cur().text;
+      Advance();
+      ORC_ASSIGN_OR_RETURN(ExprAst rhs, ParsePrimary());
+      ExprAst e;
+      e.kind = ExprAst::Kind::kBinary;
+      e.op = op;
+      e.args = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprAst> ParsePrimary() {
+    const Token& t = Cur();
+    if (t.kind == Tok::kSymbol && t.text == "(") {
+      Advance();
+      ORC_ASSIGN_OR_RETURN(ExprAst inner, ParseOr());
+      if (!AcceptSymbol(")")) return Err("expected )");
+      return inner;
+    }
+    if (t.kind == Tok::kInt) {
+      ExprAst e;
+      e.literal = Value(t.int_val);
+      Advance();
+      return e;
+    }
+    if (t.kind == Tok::kFloat) {
+      ExprAst e;
+      e.literal = Value(t.float_val);
+      Advance();
+      return e;
+    }
+    if (t.kind == Tok::kString) {
+      ExprAst e;
+      e.literal = Value(t.text);
+      Advance();
+      return e;
+    }
+    if (t.kind == Tok::kSymbol && t.text == "*") {
+      ExprAst e;
+      e.kind = ExprAst::Kind::kStar;
+      Advance();
+      return e;
+    }
+    if (t.kind == Tok::kIdent) {
+      std::string upper = t.upper;
+      // DATE 'YYYY-MM-DD'
+      if (upper == "DATE") {
+        Advance();
+        if (Cur().kind != Tok::kString) return Err("DATE expects a string literal");
+        ORC_ASSIGN_OR_RETURN(int64_t days, ParseDate(Cur().text));
+        Advance();
+        ExprAst e;
+        e.literal = Value(days);
+        return e;
+      }
+      // INTERVAL 'n' DAY -> integer day count
+      if (upper == "INTERVAL") {
+        Advance();
+        if (Cur().kind != Tok::kString) return Err("INTERVAL expects a string");
+        int64_t n = std::stoll(Cur().text);
+        Advance();
+        if (!AcceptKeyword("DAY")) return Err("only DAY intervals are supported");
+        ExprAst e;
+        e.literal = Value(n);
+        return e;
+      }
+      if (upper == "MIN" || upper == "MAX" || upper == "SUM" || upper == "COUNT" ||
+          upper == "AVG" || upper == "CONCAT") {
+        Advance();
+        if (!AcceptSymbol("(")) return Err(upper + " expects (");
+        ExprAst e;
+        e.kind = ExprAst::Kind::kFunc;
+        e.func = upper;
+        if (!AcceptSymbol(")")) {
+          while (true) {
+            ORC_ASSIGN_OR_RETURN(ExprAst arg, ParseExpr());
+            e.args.push_back(std::move(arg));
+            if (!AcceptSymbol(",")) break;
+          }
+          if (!AcceptSymbol(")")) return Err("expected ) after " + upper);
+        }
+        return e;
+      }
+      // Column reference: ident or ident.ident
+      ExprAst e;
+      e.kind = ExprAst::Kind::kColRef;
+      e.column = t.text;
+      Advance();
+      if (AcceptSymbol(".")) {
+        if (Cur().kind != Tok::kIdent) return Err("expected column after .");
+        e.table = e.column;
+        e.column = Cur().text;
+        Advance();
+      }
+      return e;
+    }
+    return Err("unexpected token '" + t.text + "'");
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Analyzer
+
+class Analyzer {
+ public:
+  Analyzer(const optimizer::CatalogView& catalog) : catalog_(catalog) {}
+
+  Result<AnalyzedQuery> Analyze(const ParsedQuery& parsed) {
+    AnalyzedQuery out;
+    uint32_t offset = 0;
+    for (const auto& [name, alias] : parsed.tables) {
+      ORC_ASSIGN_OR_RETURN(storage::RelationDef def, catalog_(name));
+      TableRef ref;
+      ref.relation = name;
+      ref.alias = alias;
+      ref.def = std::move(def);
+      ref.first_column = offset;
+      offset += static_cast<uint32_t>(ref.def.schema.arity());
+      out.tables.push_back(std::move(ref));
+    }
+
+    if (parsed.where.has_value()) {
+      ORC_RETURN_IF_ERROR(CollectConjuncts(*parsed.where, &out));
+    }
+
+    for (const ExprAst& g : parsed.group_by) {
+      ORC_ASSIGN_OR_RETURN(int32_t col, ResolveColumn(g, out));
+      out.group_cols.push_back(col);
+    }
+    out.has_group_by = !out.group_cols.empty();
+
+    bool any_agg = false;
+    for (const ParsedItem& item : parsed.items) {
+      SelectItem si;
+      si.name = item.alias;
+      if (item.expr.kind == ExprAst::Kind::kFunc && item.expr.func != "CONCAT") {
+        any_agg = true;
+        si.is_aggregate = true;
+        if (si.name.empty()) si.name = item.expr.func;
+        if (item.expr.func == "COUNT" &&
+            (item.expr.args.empty() ||
+             item.expr.args[0].kind == ExprAst::Kind::kStar)) {
+          si.agg_fn = AggFn::kCount;
+          si.agg_has_arg = false;
+        } else {
+          if (item.expr.args.size() != 1) {
+            return Status::InvalidArgument(item.expr.func + " expects one argument");
+          }
+          ORC_ASSIGN_OR_RETURN(si.expr, Bind(item.expr.args[0], out));
+          si.agg_has_arg = true;
+          if (item.expr.func == "SUM") si.agg_fn = AggFn::kSum;
+          else if (item.expr.func == "MIN") si.agg_fn = AggFn::kMin;
+          else if (item.expr.func == "MAX") si.agg_fn = AggFn::kMax;
+          else if (item.expr.func == "COUNT") si.agg_fn = AggFn::kCount;
+          else if (item.expr.func == "AVG") {
+            si.agg_fn = AggFn::kSum;  // planner adds the COUNT + division
+            si.is_avg = true;
+          } else {
+            return Status::InvalidArgument("unknown aggregate " + item.expr.func);
+          }
+        }
+      } else {
+        ORC_ASSIGN_OR_RETURN(si.expr, Bind(item.expr, out));
+        if (si.name.empty()) {
+          si.name = item.expr.kind == ExprAst::Kind::kColRef ? item.expr.column
+                                                             : "expr";
+        }
+      }
+      out.items.push_back(std::move(si));
+    }
+
+    if (any_agg || out.has_group_by) {
+      // Every non-aggregate item must be a group column reference.
+      for (const SelectItem& si : out.items) {
+        if (si.is_aggregate) continue;
+        if (si.expr.kind() != Expr::Kind::kColumn ||
+            std::find(out.group_cols.begin(), out.group_cols.end(),
+                      si.expr.column()) == out.group_cols.end()) {
+          return Status::InvalidArgument(
+              "non-aggregate select item must appear in GROUP BY: " + si.name);
+        }
+      }
+    }
+
+    for (const ParsedQuery::Order& o : parsed.order_by) {
+      optimizer::OrderItem item;
+      item.asc = o.asc;
+      if (o.position > 0) {
+        if (o.position > static_cast<int64_t>(out.items.size())) {
+          return Status::InvalidArgument("ORDER BY position out of range");
+        }
+        item.select_index = static_cast<uint32_t>(o.position - 1);
+      } else {
+        bool found = false;
+        for (size_t i = 0; i < out.items.size(); ++i) {
+          if (out.items[i].name == o.name) {
+            item.select_index = static_cast<uint32_t>(i);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::InvalidArgument("ORDER BY refers to unknown item " + o.name);
+        }
+      }
+      out.order_by.push_back(item);
+    }
+    out.limit = parsed.limit;
+    return out;
+  }
+
+ private:
+  Status CollectConjuncts(const ExprAst& ast, AnalyzedQuery* out) {
+    if (ast.kind == ExprAst::Kind::kBinary && ast.op == "AND") {
+      ORC_RETURN_IF_ERROR(CollectConjuncts(ast.args[0], out));
+      ORC_RETURN_IF_ERROR(CollectConjuncts(ast.args[1], out));
+      return Status::OK();
+    }
+    ORC_ASSIGN_OR_RETURN(Expr e, Bind(ast, *out));
+    out->conjuncts.push_back(std::move(e));
+    return Status::OK();
+  }
+
+  Result<int32_t> ResolveColumn(const ExprAst& ref, const AnalyzedQuery& q) {
+    ORC_CHECK(ref.kind == ExprAst::Kind::kColRef, "not a column ref");
+    int32_t found = -1;
+    for (const TableRef& t : q.tables) {
+      if (!ref.table.empty() && ref.table != t.alias && ref.table != t.relation) {
+        continue;
+      }
+      auto idx = t.def.schema.Find(ref.column);
+      if (idx.has_value()) {
+        if (found >= 0) {
+          return Status::InvalidArgument("ambiguous column " + ref.column);
+        }
+        found = static_cast<int32_t>(t.first_column + *idx);
+      }
+    }
+    if (found < 0) {
+      return Status::InvalidArgument("unknown column " +
+                                     (ref.table.empty() ? ref.column
+                                                        : ref.table + "." + ref.column));
+    }
+    return found;
+  }
+
+  Result<Expr> Bind(const ExprAst& ast, const AnalyzedQuery& q) {  // NOLINT
+    switch (ast.kind) {
+      case ExprAst::Kind::kLiteral:
+        return Expr::Literal(ast.literal);
+      case ExprAst::Kind::kColRef: {
+        ORC_ASSIGN_OR_RETURN(int32_t col, ResolveColumn(ast, q));
+        return Expr::Column(col);
+      }
+      case ExprAst::Kind::kBinary: {
+        if (ast.op == "AND" || ast.op == "OR") {
+          ORC_ASSIGN_OR_RETURN(Expr l, Bind(ast.args[0], q));
+          ORC_ASSIGN_OR_RETURN(Expr r, Bind(ast.args[1], q));
+          return ast.op == "AND" ? Expr::And(std::move(l), std::move(r))
+                                 : Expr::Or(std::move(l), std::move(r));
+        }
+        ORC_ASSIGN_OR_RETURN(Expr l, Bind(ast.args[0], q));
+        ORC_ASSIGN_OR_RETURN(Expr r, Bind(ast.args[1], q));
+        if (ast.op == "+" || ast.op == "-" || ast.op == "*" || ast.op == "/") {
+          return Expr::Arith(ast.op[0], std::move(l), std::move(r));
+        }
+        char op;
+        if (ast.op == "<") op = '<';
+        else if (ast.op == "<=") op = 'L';
+        else if (ast.op == "=") op = '=';
+        else if (ast.op == "<>") op = '!';
+        else if (ast.op == ">=") op = 'G';
+        else if (ast.op == ">") op = '>';
+        else return Status::InvalidArgument("unknown operator " + ast.op);
+        return Expr::Compare(op, std::move(l), std::move(r));
+      }
+      case ExprAst::Kind::kNot: {
+        ORC_ASSIGN_OR_RETURN(Expr inner, Bind(ast.args[0], q));
+        return Expr::Not(std::move(inner));
+      }
+      case ExprAst::Kind::kFunc: {
+        if (ast.func == "CONCAT") {
+          std::vector<Expr> args;
+          for (const ExprAst& a : ast.args) {
+            ORC_ASSIGN_OR_RETURN(Expr e, Bind(a, q));
+            args.push_back(std::move(e));
+          }
+          return Expr::Concat(std::move(args));
+        }
+        return Status::InvalidArgument("aggregate " + ast.func +
+                                       " not allowed in this context");
+      }
+      case ExprAst::Kind::kStar:
+        return Status::InvalidArgument("* not allowed in this context");
+    }
+    return Status::InvalidArgument("bad expression");
+  }
+
+  const optimizer::CatalogView& catalog_;
+};
+
+}  // namespace
+
+Result<AnalyzedQuery> ParseAndAnalyze(const std::string& text,
+                                      const optimizer::CatalogView& catalog) {
+  std::vector<Token> tokens;
+  ORC_RETURN_IF_ERROR(Lexer(text).Tokenize(&tokens));
+  Parser parser(std::move(tokens));
+  ORC_ASSIGN_OR_RETURN(ParsedQuery parsed, parser.Parse());
+  Analyzer analyzer(catalog);
+  return analyzer.Analyze(parsed);
+}
+
+}  // namespace orchestra::sql

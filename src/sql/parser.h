@@ -1,0 +1,34 @@
+// Single-block SQL front end (§VI: the optimizer "currently handles
+// single-block SQL queries, including function evaluation and grouping").
+// Supports exactly the shapes the paper's workloads need:
+//
+//   SELECT expr [AS name], ... | aggregates (SUM/MIN/MAX/COUNT/AVG)
+//   FROM rel [alias], ...
+//   [WHERE conjunct AND conjunct ...]
+//   [GROUP BY col, ...]
+//   [ORDER BY name|position [ASC|DESC], ...]
+//   [LIMIT n]
+//
+// plus CONCAT(...), arithmetic, comparisons, DATE 'YYYY-MM-DD' literals
+// (bound to INT64 day numbers) and INTERVAL 'n' DAY.
+#ifndef ORCHESTRA_SQL_PARSER_H_
+#define ORCHESTRA_SQL_PARSER_H_
+
+#include <string>
+
+#include "optimizer/logical.h"
+
+namespace orchestra::sql {
+
+/// Parses `text` and binds names against `catalog`.
+Result<optimizer::AnalyzedQuery> ParseAndAnalyze(const std::string& text,
+                                                 const optimizer::CatalogView& catalog);
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+int64_t DateToDays(int year, int month, int day);
+/// Parses 'YYYY-MM-DD'.
+Result<int64_t> ParseDate(const std::string& iso);
+
+}  // namespace orchestra::sql
+
+#endif  // ORCHESTRA_SQL_PARSER_H_

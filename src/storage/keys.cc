@@ -1,0 +1,68 @@
+#include "storage/keys.h"
+
+namespace orchestra::storage::keys {
+
+void AppendLenPrefixed(std::string* out, const std::string& s) {
+  uint64_t v = s.size();
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+  out->append(s);
+}
+
+void AppendEpochBE(std::string* out, Epoch e) {
+  for (int i = 7; i >= 0; --i) out->push_back(static_cast<char>(e >> (8 * i)));
+}
+
+std::string Data(const std::string& relation, const HashId& hash,
+                 const std::string& key_bytes, Epoch epoch) {
+  std::string k = DataPrefix(relation);
+  hash.AppendBigEndian(&k);
+  AppendLenPrefixed(&k, key_bytes);
+  AppendEpochBE(&k, epoch);
+  return k;
+}
+
+std::string DataPrefix(const std::string& relation) {
+  std::string k = "D";
+  AppendLenPrefixed(&k, relation);
+  return k;
+}
+
+std::string DataHashFloor(const std::string& relation, const HashId& h) {
+  std::string k = DataPrefix(relation);
+  h.AppendBigEndian(&k);
+  return k;
+}
+
+std::string PageRec(const std::string& relation, Epoch epoch, uint32_t partition) {
+  std::string k = "P";
+  AppendLenPrefixed(&k, relation);
+  for (int i = 3; i >= 0; --i) k.push_back(static_cast<char>(partition >> (8 * i)));
+  AppendEpochBE(&k, epoch);
+  return k;
+}
+
+std::string Inverse(const std::string& relation, uint32_t partition) {
+  std::string k = "I";
+  AppendLenPrefixed(&k, relation);
+  for (int i = 3; i >= 0; --i) k.push_back(static_cast<char>(partition >> (8 * i)));
+  return k;
+}
+
+std::string Coord(const std::string& relation, Epoch epoch) {
+  std::string k = "C";
+  AppendLenPrefixed(&k, relation);
+  AppendEpochBE(&k, epoch);
+  return k;
+}
+
+std::string Catalog(const std::string& relation) {
+  std::string k = "M";
+  AppendLenPrefixed(&k, relation);
+  return k;
+}
+
+}  // namespace orchestra::storage::keys

@@ -1,0 +1,47 @@
+// LocalStore key layouts for the versioned storage roles one node plays
+// simultaneously (Fig. 3): data storage node, index node, inverse node, and
+// relation coordinator. Layouts are prefix-free across namespaces and
+// relations, and ordered so that:
+//   * data records of a relation sort by (tuple-key hash, key, epoch) —
+//     a page's tuples are "retrieved in a single pass through the hash ID
+//     range for that page" (§V-B);
+//   * page/coordinator records sort by epoch for debugging scans.
+#ifndef ORCHESTRA_STORAGE_KEYS_H_
+#define ORCHESTRA_STORAGE_KEYS_H_
+
+#include <string>
+
+#include "hash/hash_id.h"
+#include "storage/page.h"
+
+namespace orchestra::storage::keys {
+
+/// Varint-length-prefixed string: makes multi-part keys prefix-free.
+void AppendLenPrefixed(std::string* out, const std::string& s);
+void AppendEpochBE(std::string* out, Epoch e);
+
+/// Data record: 'D' <rel> <hash:20B BE> <key_bytes:len-prefixed> <epoch:8B BE>
+std::string Data(const std::string& relation, const HashId& hash,
+                 const std::string& key_bytes, Epoch epoch);
+/// Prefix of all data records of a relation.
+std::string DataPrefix(const std::string& relation);
+/// Prefix of all data records of a relation with hash >= h (for range scans).
+std::string DataHashFloor(const std::string& relation, const HashId& h);
+
+/// Index-node page record: 'P' <rel> <partition:4B BE> <epoch:8B BE>
+std::string PageRec(const std::string& relation, Epoch epoch, uint32_t partition);
+
+/// Inverse-node record: 'I' <rel> <partition:4B BE>  ->  latest PageId.
+/// "look up the page holding the old version of the tuple using an inverse
+/// node" (§IV).
+std::string Inverse(const std::string& relation, uint32_t partition);
+
+/// Relation-coordinator record: 'C' <rel> <epoch:8B BE>
+std::string Coord(const std::string& relation, Epoch epoch);
+
+/// Catalog entry: 'M' <rel>
+std::string Catalog(const std::string& relation);
+
+}  // namespace orchestra::storage::keys
+
+#endif  // ORCHESTRA_STORAGE_KEYS_H_

@@ -1,0 +1,147 @@
+#include "storage/page.h"
+
+#include "common/log.h"
+#include "common/serial.h"
+#include "hash/sha1.h"
+
+namespace orchestra::storage {
+
+void TupleId::EncodeTo(Writer* w) const {
+  w->PutString(key_bytes);
+  w->PutVarint64(epoch);
+}
+
+Status TupleId::DecodeFrom(Reader* r, TupleId* out) {
+  ORC_RETURN_IF_ERROR(r->GetString(&out->key_bytes));
+  return r->GetVarint64(&out->epoch);
+}
+
+HashId TupleKeyHash(const std::string& key_bytes) {
+  Sha1Hasher h;
+  h.Update("T\x1f");
+  h.Update(key_bytes);
+  return HashId::FromDigest(h.Finish());
+}
+
+HashId PlacementHash(const RelationDef& def, const std::string& key_bytes) {
+  uint32_t arity = def.effective_partition_arity();
+  if (arity >= def.schema.key_arity()) return TupleKeyHash(key_bytes);
+  auto prefix = PartitionPrefixOfKey(arity, key_bytes);
+  if (!prefix.ok()) return TupleKeyHash(key_bytes);
+  return TupleKeyHash(*prefix);
+}
+
+HashId CoordinatorHash(const std::string& relation, Epoch epoch) {
+  Sha1Hasher h;
+  h.Update("C\x1f");
+  h.Update(relation);
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(epoch >> (8 * i));
+  h.Update(buf, sizeof(buf));
+  return HashId::FromDigest(h.Finish());
+}
+
+HashId PartitionBegin(uint32_t partition, uint32_t num_partitions) {
+  ORC_CHECK(partition < num_partitions, "partition out of range");
+  return HashId::SpacePartition(num_partitions).MultiplyBy(partition);
+}
+
+HashId PartitionEnd(uint32_t partition, uint32_t num_partitions) {
+  if (partition + 1 == num_partitions) return HashId::Zero();  // wraps
+  return HashId::SpacePartition(num_partitions).MultiplyBy(partition + 1);
+}
+
+uint32_t PartitionIndexFor(const HashId& h, uint32_t num_partitions) {
+  // Binary search over boundaries; num_partitions is small (O(nodes)).
+  HashId width = HashId::SpacePartition(num_partitions);
+  uint32_t lo = 0, hi = num_partitions - 1;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi + 1) / 2;
+    if (width.MultiplyBy(mid) <= h) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+HashId PartitionHome(uint32_t partition, uint32_t num_partitions) {
+  HashId begin = PartitionBegin(partition, num_partitions);
+  HashId end = PartitionEnd(partition, num_partitions);
+  return begin.ClockwiseMidpoint(end);
+}
+
+void PageId::EncodeTo(Writer* w) const {
+  w->PutString(relation);
+  w->PutVarint64(epoch);
+  w->PutVarint32(partition);
+}
+
+Status PageId::DecodeFrom(Reader* r, PageId* out) {
+  ORC_RETURN_IF_ERROR(r->GetString(&out->relation));
+  ORC_RETURN_IF_ERROR(r->GetVarint64(&out->epoch));
+  return r->GetVarint32(&out->partition);
+}
+
+std::string PageId::ToString() const {
+  return relation + "@" + std::to_string(epoch) + "#" + std::to_string(partition);
+}
+
+void PageDescriptor::EncodeTo(Writer* w) const {
+  id.EncodeTo(w);
+  w->PutVarint32(num_partitions);
+}
+
+Status PageDescriptor::DecodeFrom(Reader* r, PageDescriptor* out) {
+  ORC_RETURN_IF_ERROR(PageId::DecodeFrom(r, &out->id));
+  ORC_RETURN_IF_ERROR(r->GetVarint32(&out->num_partitions));
+  if (out->num_partitions == 0 || out->id.partition >= out->num_partitions) {
+    return Status::Corruption("page descriptor: bad partition");
+  }
+  return Status::OK();
+}
+
+void Page::EncodeTo(Writer* w) const {
+  desc.EncodeTo(w);
+  w->PutVarint64(ids.size());
+  for (const auto& id : ids) id.EncodeTo(w);
+}
+
+Status Page::DecodeFrom(Reader* r, Page* out) {
+  ORC_RETURN_IF_ERROR(PageDescriptor::DecodeFrom(r, &out->desc));
+  uint64_t n;
+  ORC_RETURN_IF_ERROR(r->GetVarint64(&n));
+  out->ids.clear();
+  out->ids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    TupleId id;
+    ORC_RETURN_IF_ERROR(TupleId::DecodeFrom(r, &id));
+    out->ids.push_back(std::move(id));
+  }
+  return Status::OK();
+}
+
+void CoordinatorRecord::EncodeTo(Writer* w) const {
+  w->PutString(relation);
+  w->PutVarint64(epoch);
+  w->PutVarint64(pages.size());
+  for (const auto& p : pages) p.EncodeTo(w);
+}
+
+Status CoordinatorRecord::DecodeFrom(Reader* r, CoordinatorRecord* out) {
+  ORC_RETURN_IF_ERROR(r->GetString(&out->relation));
+  ORC_RETURN_IF_ERROR(r->GetVarint64(&out->epoch));
+  uint64_t n;
+  ORC_RETURN_IF_ERROR(r->GetVarint64(&n));
+  out->pages.clear();
+  out->pages.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PageDescriptor d;
+    ORC_RETURN_IF_ERROR(PageDescriptor::DecodeFrom(r, &d));
+    out->pages.push_back(std::move(d));
+  }
+  return Status::OK();
+}
+
+}  // namespace orchestra::storage

@@ -1,0 +1,115 @@
+// The versioned page scheme of §IV (Fig. 3): relations are divided into
+// pages, each covering a fixed partition of the tuple-key-hash space. A page
+// version lists the TupleIds present in that partition at the epoch it was
+// last modified. Coordinator records tie an epoch to its page versions;
+// unchanged pages are shared across epochs (copy-on-write, as in CFS/
+// log-structured filesystems).
+#ifndef ORCHESTRA_STORAGE_PAGE_H_
+#define ORCHESTRA_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hash/hash_id.h"
+#include "storage/schema.h"
+
+namespace orchestra::storage {
+
+/// Epoch: the global logical timestamp; advances after each published batch.
+using Epoch = uint64_t;
+
+/// "The Tuple ID is the key attribute of a tuple and the epoch in which it
+/// was last modified" (§IV). key_bytes is the order-preserving encoding of
+/// the key attributes; the tuple's hash key is derived from it.
+struct TupleId {
+  std::string key_bytes;
+  Epoch epoch = 0;
+
+  bool operator==(const TupleId&) const = default;
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, TupleId* out);
+};
+
+/// Hash key of a tuple: SHA-1 over its key bytes (relation-independent, so
+/// that a relation partitioned on its key is already co-partitioned with any
+/// rehash on equal join values — the paper's Fig. 6 plan rehashes R but not
+/// S). Determines the data storage node (Fig. 3).
+HashId TupleKeyHash(const std::string& key_bytes);
+
+/// Placement hash of a tuple under its relation's partitioning rule: hashes
+/// only the placement prefix of the key bytes (RelationDef::
+/// partition_key_arity). With the default (all key attributes) this equals
+/// TupleKeyHash(key_bytes).
+HashId PlacementHash(const RelationDef& def, const std::string& key_bytes);
+
+/// Hash location of the relation coordinator for (relation, epoch).
+HashId CoordinatorHash(const std::string& relation, Epoch epoch);
+
+/// The partition boundaries: partition i of P covers
+/// [W*i, W*(i+1)) with W = floor(2^160 / P); the last partition absorbs the
+/// remainder up to 2^160.
+HashId PartitionBegin(uint32_t partition, uint32_t num_partitions);
+/// End of partition (2^160 wraps to 0 for the last).
+HashId PartitionEnd(uint32_t partition, uint32_t num_partitions);
+/// Which partition a hash falls in.
+uint32_t PartitionIndexFor(const HashId& h, uint32_t num_partitions);
+/// The page's home = midpoint of its range; placing the index entry there
+/// co-locates it with the bulk of its tuples (§IV).
+HashId PartitionHome(uint32_t partition, uint32_t num_partitions);
+
+/// "The index page ID consists of the relation name, the epoch in which it
+/// was last modified, and a unique identifier for that relation and epoch"
+/// (our unique id is the partition index) "... and the hash ID where the
+/// index page is stored" (derivable via PartitionHome).
+struct PageId {
+  std::string relation;
+  Epoch epoch = 0;       // epoch the page was last modified
+  uint32_t partition = 0;
+
+  bool operator==(const PageId&) const = default;
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, PageId* out);
+  std::string ToString() const;
+};
+
+/// Entry in a coordinator record: page id + its tuple-ID hash range.
+struct PageDescriptor {
+  PageId id;
+  uint32_t num_partitions = 0;  // of the relation, to derive ranges
+
+  HashId range_begin() const { return PartitionBegin(id.partition, num_partitions); }
+  HashId range_end() const { return PartitionEnd(id.partition, num_partitions); }
+  HashId home() const { return PartitionHome(id.partition, num_partitions); }
+
+  bool operator==(const PageDescriptor&) const = default;
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, PageDescriptor* out);
+};
+
+/// A page version: the TupleIds in this partition at this epoch, sorted by
+/// (hash, key_bytes) so data-node scans are a single ordered pass (§V-B,
+/// distributed scan).
+struct Page {
+  PageDescriptor desc;
+  std::vector<TupleId> ids;
+
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, Page* out);
+};
+
+/// "Relation @epoch -> list of pages' IDs & tuple ID hash ranges" (Fig. 3).
+/// Only non-empty partitions carry a descriptor.
+struct CoordinatorRecord {
+  std::string relation;
+  Epoch epoch = 0;
+  std::vector<PageDescriptor> pages;
+
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, CoordinatorRecord* out);
+};
+
+}  // namespace orchestra::storage
+
+#endif  // ORCHESTRA_STORAGE_PAGE_H_

@@ -1,0 +1,286 @@
+#include "storage/publisher.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace orchestra::storage {
+
+void Publisher::CreateRelation(const RelationDef& def,
+                               std::function<void(Status)> cb) {
+  // The catalog is replicated at every node (tiny, like Nation/Region §VI-A).
+  Writer w;
+  def.EncodeTo(&w);
+  std::vector<net::NodeId> everyone;
+  for (const auto& m : service_->snapshot().members()) everyone.push_back(m.node);
+
+  auto after_catalog = [this, def, cb = std::move(cb)](Status st) {
+    if (!st.ok()) {
+      cb(st);
+      return;
+    }
+    CoordinatorRecord rec;
+    rec.relation = def.name;
+    rec.epoch = gossip_->epoch();
+    Writer rw;
+    rec.EncodeTo(&rw);
+    auto replicas = service_->snapshot().ReplicasOf(
+        CoordinatorHash(def.name, rec.epoch), service_->replication());
+    service_->CallAll(replicas, kPutCoordinator, rw.data(), cb);
+  };
+  service_->CallAll(everyone, kCatalogAdd, w.data(), std::move(after_catalog));
+}
+
+void Publisher::PublishBatch(UpdateBatch batch,
+                             std::function<void(Status, Epoch)> cb) {
+  auto st = std::make_shared<PubState>();
+  st->batch = std::move(batch);
+  st->cb = std::move(cb);
+  st->base_epoch = gossip_->epoch();
+  st->new_epoch = st->base_epoch + 1;
+
+  for (const auto& [rel, updates] : st->batch) {
+    if (!service_->Relation(rel).ok()) {
+      st->cb(Status::InvalidArgument("publish to unknown relation " + rel), 0);
+      return;
+    }
+    (void)updates;
+  }
+
+  // Stage 1: coordinator records of every relation at the base epoch
+  // (needed both for the copy-on-write page lookups and for carrying
+  // unchanged relations forward to the new epoch).
+  auto rels = service_->RelationNames();
+  st->outstanding = rels.size();
+  if (rels.empty()) {
+    st->cb(Status::FailedPrecondition("no relations in catalog"), 0);
+    return;
+  }
+  for (const auto& rel : rels) {
+    service_->GetCoordinator(
+        rel, st->base_epoch, [this, st, rel](Status s, CoordinatorRecord rec) {
+          if (!s.ok() && st->first_error.ok()) st->first_error = s;
+          if (s.ok()) st->records[rel] = std::move(rec);
+          if (--st->outstanding == 0) {
+            if (!st->first_error.ok()) {
+              st->cb(st->first_error, 0);
+              return;
+            }
+            FetchPages(st);
+          }
+        });
+  }
+}
+
+void Publisher::FetchPages(std::shared_ptr<PubState> st) {
+  // Group each relation's updates by partition.
+  for (auto& [rel, updates] : st->batch) {
+    RelationDef def = service_->Relation(rel).value();
+    std::map<uint32_t, PartitionWork> by_partition;
+    for (const Update& u : updates) {
+      std::string kb = EncodeTupleKey(def.schema, u.tuple);
+      uint32_t part = PartitionIndexFor(PlacementHash(def, kb), def.num_partitions);
+      PartitionWork& pw = by_partition[part];
+      pw.relation = rel;
+      pw.partition = part;
+      pw.updates.push_back(&u);
+    }
+    const CoordinatorRecord& rec = st->records[rel];
+    for (auto& [part, pw] : by_partition) {
+      for (const PageDescriptor& d : rec.pages) {
+        if (d.id.partition == part) {
+          pw.has_old_desc = true;
+          pw.old_desc = d;
+          break;
+        }
+      }
+      st->parts.push_back(std::move(pw));
+    }
+  }
+
+  // Stage 2: fetch the current page of each affected partition. The paper
+  // locates it via the inverse node (§IV); with the coordinator record in
+  // hand the descriptor already names it, so we go straight to the index
+  // node. (ReadInverseLocal/kGetInverse expose the inverse-node path too.)
+  st->outstanding = 1;  // guard against zero fetches
+  for (size_t i = 0; i < st->parts.size(); ++i) {
+    if (!st->parts[i].has_old_desc) continue;
+    st->outstanding += 1;
+    service_->GetPage(st->parts[i].old_desc, [this, st, i](Status s, Page page) {
+      if (!s.ok() && st->first_error.ok()) st->first_error = s;
+      if (s.ok()) st->parts[i].old_page = std::move(page);
+      if (--st->outstanding == 0) ApplyAndWrite(st);
+    });
+  }
+  if (--st->outstanding == 0) ApplyAndWrite(st);
+}
+
+void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
+  if (!st->first_error.ok()) {
+    st->cb(st->first_error, 0);
+    return;
+  }
+
+  struct TupleWrite {
+    std::string relation;
+    TupleId id;
+    std::string tuple_bytes;
+    HashId hash;
+    bool everywhere;
+  };
+  std::vector<TupleWrite> tuple_writes;
+  std::vector<Page> new_pages;
+  std::map<std::string, std::map<uint32_t, bool>> partition_nonempty;
+
+  for (PartitionWork& pw : st->parts) {
+    RelationDef def = service_->Relation(pw.relation).value();
+    // key bytes -> epoch of the live version.
+    std::map<std::string, Epoch> ids;
+    for (const TupleId& id : pw.old_page.ids) ids[id.key_bytes] = id.epoch;
+
+    for (const Update* u : pw.updates) {
+      std::string kb = EncodeTupleKey(def.schema, u->tuple);
+      if (u->kind == Update::Kind::kDelete) {
+        ids.erase(kb);
+        continue;
+      }
+      ids[kb] = st->new_epoch;
+      Writer tw;
+      EncodeTuple(u->tuple, &tw);
+      tuple_writes.push_back(TupleWrite{pw.relation,
+                                        TupleId{kb, st->new_epoch},
+                                        tw.Release(),
+                                        PlacementHash(def, kb),
+                                        def.replicate_everywhere});
+    }
+
+    Page page;
+    page.desc.id = PageId{pw.relation, st->new_epoch, pw.partition};
+    page.desc.num_partitions = def.num_partitions;
+    page.ids.reserve(ids.size());
+    for (auto& [kb, e] : ids) page.ids.push_back(TupleId{kb, e});
+    // Sort by (hash, key) so data-node scans are one ordered pass.
+    std::sort(page.ids.begin(), page.ids.end(),
+              [&def](const TupleId& a, const TupleId& b) {
+                HashId ha = PlacementHash(def, a.key_bytes);
+                HashId hb = PlacementHash(def, b.key_bytes);
+                if (ha != hb) return ha < hb;
+                return a.key_bytes < b.key_bytes;
+              });
+    partition_nonempty[pw.relation][pw.partition] = !page.ids.empty();
+    // Empty pages are still written (they keep the inverse node current);
+    // they simply carry no descriptor in the new coordinator record.
+    new_pages.push_back(std::move(page));
+  }
+
+  // Stage 3: issue all writes, then finish.
+  st->outstanding = 1;
+  auto track = [st](Status s) {
+    if (!s.ok() && st->first_error.ok()) st->first_error = s;
+  };
+  auto dec = [this, st]() {
+    if (--st->outstanding == 0) FinishIfIdle(st);
+  };
+
+  const auto& snap = service_->snapshot();
+  std::vector<net::NodeId> everyone;
+  for (const auto& m : snap.members()) everyone.push_back(m.node);
+
+  // 3a: tuple versions, batched per destination node.
+  std::map<net::NodeId, std::map<std::string, Writer>> per_node_rel;
+  std::map<net::NodeId, std::map<std::string, uint64_t>> per_node_rel_count;
+  for (const TupleWrite& tw : tuple_writes) {
+    std::vector<net::NodeId> targets =
+        tw.everywhere ? everyone : snap.ReplicasOf(tw.hash, service_->replication());
+    for (net::NodeId t : targets) {
+      Writer& w = per_node_rel[t][tw.relation];
+      tw.id.EncodeTo(&w);
+      w.PutString(tw.tuple_bytes);
+      per_node_rel_count[t][tw.relation] += 1;
+    }
+  }
+  for (auto& [target, rels] : per_node_rel) {
+    for (auto& [rel, w] : rels) {
+      Writer body;
+      body.PutString(rel);
+      body.PutVarint64(per_node_rel_count[target][rel]);
+      body.PutRaw(w.data().data(), w.size());
+      st->outstanding += 1;
+      service_->Call(target, kPutTuples, body.Release(),
+                     [track, dec](Status s, const std::string&) {
+                       track(s);
+                       dec();
+                     });
+    }
+  }
+
+  // 3b: new page versions to their index nodes.
+  for (const Page& page : new_pages) {
+    RelationDef def = service_->Relation(page.desc.id.relation).value();
+    Writer w;
+    page.EncodeTo(&w);
+    std::vector<net::NodeId> targets =
+        def.replicate_everywhere
+            ? everyone
+            : snap.ReplicasOf(page.desc.home(), service_->replication());
+    st->outstanding += 1;
+    service_->CallAll(targets, kPutPage, w.data(), [track, dec](Status s) {
+      track(s);
+      dec();
+    });
+  }
+
+  // 3c: coordinator records for EVERY relation at the new epoch.
+  for (const auto& rel : service_->RelationNames()) {
+    CoordinatorRecord rec;
+    rec.relation = rel;
+    rec.epoch = st->new_epoch;
+    const CoordinatorRecord& old = st->records[rel];
+    auto changed = partition_nonempty.find(rel);
+    // Carry forward untouched pages.
+    for (const PageDescriptor& d : old.pages) {
+      bool touched = changed != partition_nonempty.end() &&
+                     changed->second.count(d.id.partition) > 0;
+      if (!touched) rec.pages.push_back(d);
+    }
+    // Add the new versions of touched, non-empty partitions.
+    if (changed != partition_nonempty.end()) {
+      RelationDef def = service_->Relation(rel).value();
+      for (const auto& [part, nonempty] : changed->second) {
+        if (!nonempty) continue;
+        PageDescriptor d;
+        d.id = PageId{rel, st->new_epoch, part};
+        d.num_partitions = def.num_partitions;
+        rec.pages.push_back(d);
+      }
+    }
+    std::sort(rec.pages.begin(), rec.pages.end(),
+              [](const PageDescriptor& a, const PageDescriptor& b) {
+                return a.id.partition < b.id.partition;
+              });
+    Writer w;
+    rec.EncodeTo(&w);
+    auto replicas = snap.ReplicasOf(CoordinatorHash(rel, st->new_epoch),
+                                    service_->replication());
+    st->outstanding += 1;
+    service_->CallAll(replicas, kPutCoordinator, w.data(), [track, dec](Status s) {
+      track(s);
+      dec();
+    });
+  }
+
+  if (--st->outstanding == 0) FinishIfIdle(st);
+}
+
+void Publisher::FinishIfIdle(std::shared_ptr<PubState> st) {
+  if (st->done) return;
+  st->done = true;
+  if (!st->first_error.ok()) {
+    st->cb(st->first_error, 0);
+    return;
+  }
+  gossip_->AdvanceTo(st->new_epoch);
+  st->cb(Status::OK(), st->new_epoch);
+}
+
+}  // namespace orchestra::storage

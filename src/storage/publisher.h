@@ -1,0 +1,88 @@
+// Publisher: the participant-side write path of the versioned store (§IV).
+// Publishing a batch of updates creates a new global epoch:
+//   1. fetch the coordinator records of ALL relations at the current epoch,
+//   2. fetch the affected pages, apply the updates copy-on-write (the new
+//      page lists the new TupleIds; untouched pages are shared),
+//   3. write new tuple versions to their data storage nodes (replicated on
+//      insert, §III-C), new pages to their index nodes, and a coordinator
+//      record per relation at the new epoch (unchanged relations carry their
+//      page list forward, so every relation is resolvable at every epoch),
+//   4. advance the gossiped epoch.
+//
+// There is no distributed locking: participants publish disjoint update
+// logs, and conflicts are resolved at import time by reconciliation (§II).
+#ifndef ORCHESTRA_STORAGE_PUBLISHER_H_
+#define ORCHESTRA_STORAGE_PUBLISHER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "overlay/gossip.h"
+#include "storage/service.h"
+
+namespace orchestra::storage {
+
+/// One update in a published log. An insert with an existing key is an
+/// update: the key maps to a new TupleId at the new epoch; the old version
+/// remains retrievable at older epochs.
+struct Update {
+  enum class Kind : uint8_t { kInsert = 0, kDelete = 1 };
+  Kind kind = Kind::kInsert;
+  Tuple tuple;  // for kDelete only the key attributes are consulted
+
+  static Update Insert(Tuple t) { return Update{Kind::kInsert, std::move(t)}; }
+  static Update Delete(Tuple t) { return Update{Kind::kDelete, std::move(t)}; }
+};
+
+/// Relation name -> updates.
+using UpdateBatch = std::map<std::string, std::vector<Update>>;
+
+class Publisher {
+ public:
+  Publisher(StorageService* service, overlay::GossipService* gossip)
+      : service_(service), gossip_(gossip) {}
+
+  /// Registers a relation everywhere and writes its (empty) coordinator
+  /// record at the current epoch.
+  void CreateRelation(const RelationDef& def, std::function<void(Status)> cb);
+
+  /// Publishes `batch` as one new epoch. cb receives the new epoch.
+  void PublishBatch(UpdateBatch batch, std::function<void(Status, Epoch)> cb);
+
+  Epoch current_epoch() const { return gossip_->epoch(); }
+
+ private:
+  struct PartitionWork {
+    std::string relation;
+    uint32_t partition = 0;
+    bool has_old_desc = false;
+    PageDescriptor old_desc;
+    std::vector<const Update*> updates;
+    Page old_page;  // empty when !has_old_desc
+  };
+
+  struct PubState {
+    UpdateBatch batch;
+    std::function<void(Status, Epoch)> cb;
+    Epoch base_epoch = 0;
+    Epoch new_epoch = 0;
+    std::map<std::string, CoordinatorRecord> records;
+    size_t outstanding = 0;
+    Status first_error;
+    std::vector<PartitionWork> parts;
+    bool done = false;
+  };
+
+  void FetchPages(std::shared_ptr<PubState> st);
+  void ApplyAndWrite(std::shared_ptr<PubState> st);
+  void FinishIfIdle(std::shared_ptr<PubState> st);
+
+  StorageService* service_;
+  overlay::GossipService* gossip_;
+};
+
+}  // namespace orchestra::storage
+
+#endif  // ORCHESTRA_STORAGE_PUBLISHER_H_

@@ -1,0 +1,106 @@
+#include "storage/schema.h"
+
+#include "common/log.h"
+
+namespace orchestra::storage {
+
+std::optional<size_t> Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Schema::EncodeTo(Writer* w) const {
+  w->PutVarint32(static_cast<uint32_t>(columns_.size()));
+  for (const auto& c : columns_) {
+    w->PutString(c.name);
+    w->PutU8(static_cast<uint8_t>(c.type));
+  }
+  w->PutVarint32(key_arity_);
+}
+
+Status Schema::DecodeFrom(Reader* r, Schema* out) {
+  uint32_t n;
+  ORC_RETURN_IF_ERROR(r->GetVarint32(&n));
+  if (n > (1u << 12)) return Status::Corruption("schema: absurd arity");
+  out->columns_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    ColumnDef c;
+    ORC_RETURN_IF_ERROR(r->GetString(&c.name));
+    uint8_t t;
+    ORC_RETURN_IF_ERROR(r->GetU8(&t));
+    c.type = static_cast<ValueType>(t);
+    out->columns_.push_back(std::move(c));
+  }
+  ORC_RETURN_IF_ERROR(r->GetVarint32(&out->key_arity_));
+  if (out->key_arity_ > out->columns_.size()) {
+    return Status::Corruption("schema: key arity exceeds arity");
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) s += ", ";
+    s += columns_[i].name;
+    s += " ";
+    s += ValueTypeName(columns_[i].type);
+    if (i < key_arity_) s += " KEY";
+  }
+  s += ")";
+  return s;
+}
+
+void RelationDef::EncodeTo(Writer* w) const {
+  w->PutString(name);
+  schema.EncodeTo(w);
+  w->PutVarint32(num_partitions);
+  w->PutBool(replicate_everywhere);
+  w->PutVarint32(partition_key_arity);
+}
+
+Status RelationDef::DecodeFrom(Reader* r, RelationDef* out) {
+  ORC_RETURN_IF_ERROR(r->GetString(&out->name));
+  ORC_RETURN_IF_ERROR(Schema::DecodeFrom(r, &out->schema));
+  ORC_RETURN_IF_ERROR(r->GetVarint32(&out->num_partitions));
+  ORC_RETURN_IF_ERROR(r->GetBool(&out->replicate_everywhere));
+  ORC_RETURN_IF_ERROR(r->GetVarint32(&out->partition_key_arity));
+  if (out->num_partitions == 0) return Status::Corruption("relation: 0 partitions");
+  if (out->partition_key_arity > out->schema.key_arity()) {
+    return Status::Corruption("relation: partition arity exceeds key arity");
+  }
+  return Status::OK();
+}
+
+std::string EncodeTupleKey(const Schema& schema, const Tuple& t) {
+  ORC_CHECK(t.size() == schema.arity(), "tuple arity mismatch");
+  std::string key;
+  for (uint32_t i = 0; i < schema.key_arity(); ++i) {
+    t[i].EncodeOrdered(&key);
+  }
+  return key;
+}
+
+Result<std::string> PartitionPrefixOfKey(uint32_t arity, std::string_view key_bytes) {
+  std::string_view rest = key_bytes;
+  for (uint32_t i = 0; i < arity; ++i) {
+    Value v;
+    ORC_RETURN_IF_ERROR(Value::DecodeOrdered(&rest, &v));
+  }
+  return std::string(key_bytes.substr(0, key_bytes.size() - rest.size()));
+}
+
+Status DecodeTupleKey(const Schema& schema, std::string_view key_bytes, Tuple* out) {
+  out->clear();
+  for (uint32_t i = 0; i < schema.key_arity(); ++i) {
+    Value v;
+    ORC_RETURN_IF_ERROR(Value::DecodeOrdered(&key_bytes, &v));
+    out->push_back(std::move(v));
+  }
+  if (!key_bytes.empty()) return Status::Corruption("key bytes: trailing data");
+  return Status::OK();
+}
+
+}  // namespace orchestra::storage

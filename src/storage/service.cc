@@ -1,0 +1,847 @@
+#include "storage/service.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/log.h"
+
+namespace orchestra::storage {
+
+void KeyFilter::EncodeTo(Writer* w) const {
+  w->PutBool(all);
+  if (!all) {
+    w->PutString(lo);
+    w->PutString(hi);
+  }
+}
+
+Status KeyFilter::DecodeFrom(Reader* r, KeyFilter* out) {
+  ORC_RETURN_IF_ERROR(r->GetBool(&out->all));
+  if (!out->all) {
+    ORC_RETURN_IF_ERROR(r->GetString(&out->lo));
+    ORC_RETURN_IF_ERROR(r->GetString(&out->hi));
+  }
+  return Status::OK();
+}
+
+StorageService::StorageService(net::NodeHost* host,
+                               std::shared_ptr<SnapshotBoard> board, int replication)
+    : host_(host), board_(std::move(board)), replication_(replication) {
+  host_->Register(net::ServiceId::kStorage, this);
+}
+
+// --------------------------------------------------------------------------
+// Local API
+
+void StorageService::AddRelationLocal(const RelationDef& def) {
+  catalog_[def.name] = def;
+  Writer w;
+  def.EncodeTo(&w);
+  store_.Put(keys::Catalog(def.name), w.data()).ok();
+}
+
+Result<RelationDef> StorageService::Relation(const std::string& name) const {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) return Status::NotFound("no relation " + name);
+  return it->second;
+}
+
+std::vector<std::string> StorageService::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(catalog_.size());
+  for (const auto& [name, def] : catalog_) names.push_back(name);
+  return names;
+}
+
+Result<CoordinatorRecord> StorageService::ReadCoordinatorLocal(const std::string& rel,
+                                                               Epoch e) const {
+  ORC_ASSIGN_OR_RETURN(std::string bytes, store_.Get(keys::Coord(rel, e)));
+  Reader r(bytes);
+  CoordinatorRecord rec;
+  ORC_RETURN_IF_ERROR(CoordinatorRecord::DecodeFrom(&r, &rec));
+  return rec;
+}
+
+Result<Page> StorageService::ReadPageLocal(const PageId& id) const {
+  ORC_ASSIGN_OR_RETURN(std::string bytes,
+                       store_.Get(keys::PageRec(id.relation, id.epoch, id.partition)));
+  Reader r(bytes);
+  Page page;
+  ORC_RETURN_IF_ERROR(Page::DecodeFrom(&r, &page));
+  return page;
+}
+
+Result<PageId> StorageService::ReadInverseLocal(const std::string& rel,
+                                                uint32_t partition) const {
+  ORC_ASSIGN_OR_RETURN(std::string bytes, store_.Get(keys::Inverse(rel, partition)));
+  Reader r(bytes);
+  PageId id;
+  ORC_RETURN_IF_ERROR(PageId::DecodeFrom(&r, &id));
+  return id;
+}
+
+Result<Tuple> StorageService::ReadTupleLocal(const std::string& rel,
+                                             const TupleId& id) const {
+  ORC_ASSIGN_OR_RETURN(RelationDef def, Relation(rel));
+  HashId h = PlacementHash(def, id.key_bytes);
+  ORC_ASSIGN_OR_RETURN(std::string bytes,
+                       store_.Get(keys::Data(rel, h, id.key_bytes, id.epoch)));
+  Reader r(bytes);
+  Tuple t;
+  ORC_RETURN_IF_ERROR(DecodeTuple(&r, &t));
+  return t;
+}
+
+Status StorageService::ScanPageLocal(
+    const std::string& rel, const Page& page, const KeyFilter& filter,
+    const std::function<void(const TupleId&, Tuple)>& yield,
+    std::vector<TupleId>* missing) {
+  // Build the membership set: localstore data key -> index into page.ids.
+  ORC_ASSIGN_OR_RETURN(RelationDef def, Relation(rel));
+  std::unordered_map<std::string, size_t> wanted;
+  wanted.reserve(page.ids.size());
+  for (size_t i = 0; i < page.ids.size(); ++i) {
+    const TupleId& id = page.ids[i];
+    if (!filter.Matches(id.key_bytes)) continue;
+    HashId h = PlacementHash(def, id.key_bytes);
+    wanted.emplace(keys::Data(rel, h, id.key_bytes, id.epoch), i);
+  }
+  ChargeCpu(host_->network()->costs().index_entry_us *
+            static_cast<double>(page.ids.size()));
+
+  // Single ordered pass through the page's hash range (§V-B).
+  std::string start = keys::DataHashFloor(rel, page.desc.range_begin());
+  std::string prefix = keys::DataPrefix(rel);
+  HashId end = page.desc.range_end();
+  bool wraps = end == HashId::Zero();
+  std::string end_key = wraps ? std::string() : keys::DataHashFloor(rel, end);
+
+  std::vector<bool> found(page.ids.size(), false);
+  size_t scanned = 0;
+  for (auto it = store_.Seek(start); localstore::LocalStore::WithinPrefix(it, prefix);
+       it.Next()) {
+    if (!wraps && std::string_view(it.key()) >= end_key) break;
+    ++scanned;
+    auto w = wanted.find(std::string(it.key()));
+    if (w == wanted.end()) continue;  // other version / other epoch
+    Reader r(it.value());
+    Tuple t;
+    ORC_RETURN_IF_ERROR(DecodeTuple(&r, &t));
+    found[w->second] = true;
+    yield(page.ids[w->second], std::move(t));
+  }
+  ChargeCpu(host_->network()->costs().tuple_scan_us * static_cast<double>(scanned));
+
+  if (missing != nullptr) {
+    for (size_t i = 0; i < page.ids.size(); ++i) {
+      if (!found[i] && filter.Matches(page.ids[i].key_bytes)) {
+        missing->push_back(page.ids[i]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// RPC plumbing
+
+void StorageService::Call(net::NodeId to, uint16_t code, std::string body,
+                          RpcCallback cb, sim::SimTime timeout_us) {
+  uint64_t req_id = next_req_id_++;
+  Writer w(body.size() + 12);
+  w.PutU64(req_id);
+  w.PutRaw(body.data(), body.size());
+
+  PendingCall pc;
+  pc.to = to;
+  pc.cb = std::move(cb);
+  pc.timeout_event = host_->network()->simulator()->ScheduleAfter(
+      timeout_us, [this, req_id]() {
+        auto it = pending_.find(req_id);
+        if (it == pending_.end()) return;
+        RpcCallback cb = std::move(it->second.cb);
+        pending_.erase(it);
+        cb(Status::TimedOut("storage rpc timeout"), {});
+      });
+  pending_.emplace(req_id, std::move(pc));
+  host_->SendTo(to, net::ServiceId::kStorage, code, w.Release());
+}
+
+void StorageService::CallAll(const std::vector<net::NodeId>& targets, uint16_t code,
+                             const std::string& body,
+                             std::function<void(Status)> cb) {
+  if (targets.empty()) {
+    cb(Status::OK());
+    return;
+  }
+  struct FanOut {
+    size_t remaining;
+    Status first_error = Status::OK();
+    std::function<void(Status)> cb;
+  };
+  auto state = std::make_shared<FanOut>();
+  state->remaining = targets.size();
+  state->cb = std::move(cb);
+  for (net::NodeId t : targets) {
+    Call(t, code, body, [state](Status st, const std::string&) {
+      if (!st.ok() && state->first_error.ok()) state->first_error = st;
+      if (--state->remaining == 0) state->cb(state->first_error);
+    });
+  }
+}
+
+void StorageService::SendOneWay(net::NodeId to, uint16_t code, std::string body) {
+  host_->SendTo(to, net::ServiceId::kStorage, code, std::move(body));
+}
+
+void StorageService::Respond(net::NodeId to, uint64_t req_id, Status st,
+                             std::string body) {
+  Writer w(body.size() + 16);
+  w.PutU64(req_id);
+  w.PutU8(static_cast<uint8_t>(st.code()));
+  w.PutString(st.message());
+  w.PutRaw(body.data(), body.size());
+  host_->SendTo(to, net::ServiceId::kStorage, kReply, w.Release());
+}
+
+void StorageService::OnConnectionDrop(net::NodeId peer) {
+  std::vector<uint64_t> dead;
+  for (const auto& [id, pc] : pending_) {
+    if (pc.to == peer) dead.push_back(id);
+  }
+  for (uint64_t id : dead) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    RpcCallback cb = std::move(it->second.cb);
+    host_->network()->simulator()->Cancel(it->second.timeout_event);
+    pending_.erase(it);
+    cb(Status::Unavailable("peer failed"), {});
+  }
+}
+
+// --------------------------------------------------------------------------
+// Message handling
+
+void StorageService::OnMessage(net::NodeId from, uint16_t code,
+                               const std::string& payload) {
+  Reader r(payload);
+  if (code == kReply) {
+    uint64_t req_id;
+    uint8_t st_code;
+    std::string st_msg;
+    if (!r.GetU64(&req_id).ok() || !r.GetU8(&st_code).ok() || !r.GetString(&st_msg).ok()) {
+      return;
+    }
+    auto it = pending_.find(req_id);
+    if (it == pending_.end()) return;  // raced with timeout
+    RpcCallback cb = std::move(it->second.cb);
+    host_->network()->simulator()->Cancel(it->second.timeout_event);
+    pending_.erase(it);
+    Status st = Status::OK();
+    if (st_code != 0) {
+      switch (static_cast<Status::Code>(st_code)) {
+        case Status::Code::kNotFound: st = Status::NotFound(st_msg); break;
+        case Status::Code::kUnavailable: st = Status::Unavailable(st_msg); break;
+        case Status::Code::kCorruption: st = Status::Corruption(st_msg); break;
+        default: st = Status::IOError(st_msg); break;
+      }
+    }
+    std::string body(payload.substr(r.position()));
+    cb(st, body);
+    return;
+  }
+  if (code == kFetchTuples) {
+    HandleFetchTuples(from, &r);
+    return;
+  }
+  if (code == kTupleData) {
+    HandleTupleData(from, &r);
+    return;
+  }
+  uint64_t req_id;
+  if (!r.GetU64(&req_id).ok()) return;
+  HandleRequest(from, code, &r, req_id);
+}
+
+void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
+                                   uint64_t req_id) {
+  const auto& costs = host_->network()->costs();
+  switch (code) {
+    case kCatalogAdd: {
+      RelationDef def;
+      if (!RelationDef::DecodeFrom(r, &def).ok()) {
+        Respond(from, req_id, Status::Corruption("bad catalog entry"), {});
+        return;
+      }
+      AddRelationLocal(def);
+      Respond(from, req_id, Status::OK(), {});
+      return;
+    }
+    case kPutTuples: {
+      std::string rel;
+      uint64_t n;
+      if (!r->GetString(&rel).ok() || !r->GetVarint64(&n).ok()) return;
+      auto def = Relation(rel);
+      if (!def.ok()) {
+        Respond(from, req_id, def.status(), {});
+        return;
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        TupleId id;
+        if (!TupleId::DecodeFrom(r, &id).ok()) return;
+        std::string_view tuple_bytes;
+        if (!r->GetStringView(&tuple_bytes).ok()) return;
+        HashId h = PlacementHash(*def, id.key_bytes);
+        store_.Put(keys::Data(rel, h, id.key_bytes, id.epoch), tuple_bytes).ok();
+        counters_.tuples_stored += 1;
+      }
+      ChargeCpu(costs.tuple_write_us * static_cast<double>(n));
+      Respond(from, req_id, Status::OK(), {});
+      return;
+    }
+    case kPutPage: {
+      Page page;
+      if (!Page::DecodeFrom(r, &page).ok()) {
+        Respond(from, req_id, Status::Corruption("bad page"), {});
+        return;
+      }
+      Writer w;
+      page.EncodeTo(&w);
+      const PageId& id = page.desc.id;
+      store_.Put(keys::PageRec(id.relation, id.epoch, id.partition), w.data()).ok();
+      counters_.pages_stored += 1;
+      ChargeCpu(costs.index_entry_us * static_cast<double>(page.ids.size()));
+      // Inverse node bookkeeping: latest page for this partition (§IV).
+      auto cur = ReadInverseLocal(id.relation, id.partition);
+      if (!cur.ok() || cur.value().epoch <= id.epoch) {
+        Writer iw;
+        id.EncodeTo(&iw);
+        store_.Put(keys::Inverse(id.relation, id.partition), iw.data()).ok();
+      }
+      Respond(from, req_id, Status::OK(), {});
+      return;
+    }
+    case kPutCoordinator: {
+      CoordinatorRecord rec;
+      if (!CoordinatorRecord::DecodeFrom(r, &rec).ok()) {
+        Respond(from, req_id, Status::Corruption("bad coordinator record"), {});
+        return;
+      }
+      Writer w;
+      rec.EncodeTo(&w);
+      store_.Put(keys::Coord(rec.relation, rec.epoch), w.data()).ok();
+      counters_.coordinators_stored += 1;
+      Respond(from, req_id, Status::OK(), {});
+      return;
+    }
+    case kGetCoordinator: {
+      std::string rel;
+      uint64_t epoch;
+      if (!r->GetString(&rel).ok() || !r->GetVarint64(&epoch).ok()) return;
+      auto bytes = store_.Get(keys::Coord(rel, epoch));
+      if (!bytes.ok()) {
+        Respond(from, req_id, bytes.status(), {});
+      } else {
+        Respond(from, req_id, Status::OK(), std::move(bytes).value());
+      }
+      return;
+    }
+    case kGetPage: {
+      PageId id;
+      if (!PageId::DecodeFrom(r, &id).ok()) return;
+      auto bytes = store_.Get(keys::PageRec(id.relation, id.epoch, id.partition));
+      if (!bytes.ok()) {
+        Respond(from, req_id, bytes.status(), {});
+      } else {
+        Respond(from, req_id, Status::OK(), std::move(bytes).value());
+      }
+      return;
+    }
+    case kGetInverse: {
+      std::string rel;
+      uint32_t partition;
+      if (!r->GetString(&rel).ok() || !r->GetVarint32(&partition).ok()) return;
+      auto bytes = store_.Get(keys::Inverse(rel, partition));
+      if (!bytes.ok()) {
+        Respond(from, req_id, bytes.status(), {});
+      } else {
+        Respond(from, req_id, Status::OK(), std::move(bytes).value());
+      }
+      return;
+    }
+    case kGetTuple: {
+      std::string rel;
+      TupleId id;
+      if (!r->GetString(&rel).ok() || !TupleId::DecodeFrom(r, &id).ok()) return;
+      auto t = ReadTupleLocal(rel, id);
+      ChargeCpu(costs.tuple_scan_us);
+      if (!t.ok()) {
+        Respond(from, req_id, t.status(), {});
+      } else {
+        Writer w;
+        EncodeTuple(t.value(), &w);
+        Respond(from, req_id, Status::OK(), w.Release());
+      }
+      return;
+    }
+    case kReplicaPush: {
+      uint64_t n;
+      if (!r->GetVarint64(&n).ok()) return;
+      for (uint64_t i = 0; i < n; ++i) {
+        std::string key, value;
+        if (!r->GetString(&key).ok() || !r->GetString(&value).ok()) return;
+        if (!store_.Contains(key)) store_.Put(key, value).ok();
+        if (!key.empty() && key[0] == 'M') {
+          Reader cr(value);
+          RelationDef def;
+          if (RelationDef::DecodeFrom(&cr, &def).ok()) catalog_[def.name] = def;
+        }
+      }
+      ChargeCpu(costs.tuple_write_us * static_cast<double>(n));
+      Respond(from, req_id, Status::OK(), {});
+      return;
+    }
+    case kScanPage:
+      HandleScanPage(from, r, req_id);
+      return;
+    default:
+      Respond(from, req_id, Status::NotSupported("unknown storage code"), {});
+  }
+}
+
+void StorageService::HandleScanPage(net::NodeId from, Reader* r, uint64_t req_id) {
+  uint64_t scan_id;
+  uint32_t requester;
+  std::string rel;
+  PageDescriptor desc;
+  KeyFilter filter;
+  if (!r->GetU64(&scan_id).ok() || !r->GetU32(&requester).ok() ||
+      !r->GetString(&rel).ok() || !PageDescriptor::DecodeFrom(r, &desc).ok() ||
+      !KeyFilter::DecodeFrom(r, &filter).ok()) {
+    Respond(from, req_id, Status::Corruption("bad scan request"), {});
+    return;
+  }
+
+  auto page = ReadPageLocal(desc.id);
+  if (!page.ok()) {
+    // This replica does not (yet) have the page; the caller retries another.
+    Respond(from, req_id, page.status(), {});
+    return;
+  }
+  counters_.scans_served += 1;
+  ChargeCpu(host_->network()->costs().index_entry_us *
+            static_cast<double>(page->ids.size()));
+
+  // Group surviving tuple ids by their data storage node (Algorithm 1 line 8).
+  auto def = Relation(rel);
+  if (!def.ok()) {
+    Respond(from, req_id, def.status(), {});
+    return;
+  }
+  std::map<net::NodeId, std::vector<const TupleId*>> by_owner;
+  for (const TupleId& id : page->ids) {
+    if (!filter.Matches(id.key_bytes)) continue;
+    net::NodeId owner = board_->current.OwnerOf(PlacementHash(*def, id.key_bytes));
+    by_owner[owner].push_back(&id);
+  }
+
+  uint64_t total_ids = 0;
+  for (auto& [owner, ids] : by_owner) {
+    Writer w;
+    w.PutU64(scan_id);
+    w.PutU32(requester);
+    w.PutString(rel);
+    w.PutVarint64(ids.size());
+    for (const TupleId* id : ids) id->EncodeTo(&w);
+    total_ids += ids.size();
+    SendOneWay(owner, kFetchTuples, w.Release());
+  }
+
+  // Page summary back to the requester so it can count completion.
+  Writer w;
+  w.PutVarint64(by_owner.size());
+  w.PutVarint64(total_ids);
+  Respond(from, req_id, Status::OK(), w.Release());
+}
+
+void StorageService::HandleFetchTuples(net::NodeId from, Reader* r) {
+  uint64_t scan_id;
+  uint32_t requester;
+  std::string rel;
+  uint64_t n;
+  if (!r->GetU64(&scan_id).ok() || !r->GetU32(&requester).ok() ||
+      !r->GetString(&rel).ok() || !r->GetVarint64(&n).ok()) {
+    return;
+  }
+  Writer out;
+  out.PutU64(scan_id);
+  Writer rows;
+  Writer missing;
+  uint64_t rows_n = 0, missing_n = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    TupleId id;
+    if (!TupleId::DecodeFrom(r, &id).ok()) return;
+    auto t = ReadTupleLocal(rel, id);
+    if (t.ok()) {
+      EncodeTuple(t.value(), &rows);
+      ++rows_n;
+    } else {
+      id.EncodeTo(&missing);
+      ++missing_n;
+    }
+  }
+  counters_.tuples_served += rows_n;
+  ChargeCpu(host_->network()->costs().tuple_scan_us * static_cast<double>(n));
+  out.PutString(rel);
+  out.PutVarint64(rows_n);
+  out.PutRaw(rows.data().data(), rows.size());
+  out.PutVarint64(missing_n);
+  out.PutRaw(missing.data().data(), missing.size());
+  // Direct to the requester, "bypassing the Index node and Relation
+  // Coordinator" (Algorithm 1 line 9).
+  SendOneWay(requester, kTupleData, out.Release());
+}
+
+void StorageService::HandleTupleData(net::NodeId from, Reader* r) {
+  uint64_t scan_id;
+  std::string rel;
+  if (!r->GetU64(&scan_id).ok() || !r->GetString(&rel).ok()) return;
+  auto it = scans_.find(scan_id);
+  if (it == scans_.end()) return;  // scan already failed/finished
+  ScanState& state = it->second;
+
+  uint64_t rows_n;
+  if (!r->GetVarint64(&rows_n).ok()) return;
+  for (uint64_t i = 0; i < rows_n; ++i) {
+    Tuple t;
+    if (!DecodeTuple(r, &t).ok()) return;
+    state.rows.push_back(std::move(t));
+  }
+  uint64_t missing_n;
+  if (!r->GetVarint64(&missing_n).ok()) return;
+  std::vector<TupleId> missing(missing_n);
+  for (auto& id : missing) {
+    if (!TupleId::DecodeFrom(r, &id).ok()) return;
+  }
+  state.data_parts_received += 1;
+  for (const auto& id : missing) {
+    state.lookups_outstanding += 1;
+    RecoverMissingTuple(scan_id, id, 0);
+  }
+  ScanCheckDone(scan_id);
+}
+
+// --------------------------------------------------------------------------
+// Retrieve (Algorithm 1)
+
+void StorageService::GetCoordinator(
+    const std::string& rel, Epoch epoch,
+    std::function<void(Status, CoordinatorRecord)> cb) {
+  HashId where = CoordinatorHash(rel, epoch);
+  auto replicas = board_->current.ReplicasOf(where, replication_);
+  Writer w;
+  w.PutString(rel);
+  w.PutVarint64(epoch);
+  std::string body = w.Release();
+
+  auto try_replica = std::make_shared<std::function<void(size_t)>>();
+  *try_replica = [this, replicas, body, cb = std::move(cb), try_replica](size_t i) {
+    if (i >= replicas.size()) {
+      cb(Status::Unavailable("no replica has coordinator record"), {});
+      return;
+    }
+    Call(replicas[i], kGetCoordinator, body,
+         [i, cb, try_replica](Status st, const std::string& reply) {
+           if (st.ok()) {
+             Reader r(reply);
+             CoordinatorRecord rec;
+             Status ds = CoordinatorRecord::DecodeFrom(&r, &rec);
+             if (ds.ok()) {
+               cb(Status::OK(), std::move(rec));
+             } else {
+               cb(ds, {});
+             }
+             return;
+           }
+           (*try_replica)(i + 1);
+         });
+  };
+  (*try_replica)(0);
+}
+
+void StorageService::GetPage(const PageDescriptor& desc,
+                             std::function<void(Status, Page)> cb) {
+  auto replicas = board_->current.ReplicasOf(desc.home(), replication_);
+  Writer w;
+  desc.id.EncodeTo(&w);
+  std::string body = w.Release();
+
+  auto try_replica = std::make_shared<std::function<void(size_t)>>();
+  *try_replica = [this, replicas, body, cb = std::move(cb), try_replica](size_t i) {
+    if (i >= replicas.size()) {
+      cb(Status::Unavailable("no replica has page"), {});
+      return;
+    }
+    Call(replicas[i], kGetPage, body,
+         [i, cb, try_replica](Status st, const std::string& reply) {
+           if (st.ok()) {
+             Reader r(reply);
+             Page page;
+             Status ds = Page::DecodeFrom(&r, &page);
+             if (ds.ok()) {
+               cb(Status::OK(), std::move(page));
+             } else {
+               cb(ds, {});
+             }
+             return;
+           }
+           (*try_replica)(i + 1);
+         });
+  };
+  (*try_replica)(0);
+}
+
+void StorageService::Retrieve(const std::string& rel, Epoch epoch,
+                              const KeyFilter& filter, RetrieveCallback cb) {
+  uint64_t scan_id = next_scan_id_++;
+  ScanState state;
+  state.relation = rel;
+  state.epoch = epoch;
+  state.filter = filter;
+  state.cb = std::move(cb);
+  scans_.emplace(scan_id, std::move(state));
+
+  GetCoordinator(rel, epoch, [this, scan_id](Status st, CoordinatorRecord rec) {
+    auto it = scans_.find(scan_id);
+    if (it == scans_.end()) return;
+    if (!st.ok()) {
+      ScanFail(scan_id, st);
+      return;
+    }
+    it->second.pages_total = rec.pages.size();
+    if (rec.pages.empty()) {
+      ScanCheckDone(scan_id);
+      return;
+    }
+    for (const PageDescriptor& desc : rec.pages) {
+      StartPageScan(scan_id, desc, 0);
+    }
+  });
+}
+
+void StorageService::StartPageScan(uint64_t scan_id, const PageDescriptor& desc,
+                                   size_t replica_idx) {
+  auto it = scans_.find(scan_id);
+  if (it == scans_.end()) return;
+  ScanState& state = it->second;
+
+  auto replicas = board_->current.ReplicasOf(desc.home(), replication_);
+  if (replica_idx >= replicas.size()) {
+    ScanFail(scan_id, Status::Unavailable("no replica can scan page " +
+                                          desc.id.ToString()));
+    return;
+  }
+  Writer w;
+  w.PutU64(scan_id);
+  w.PutU32(node());
+  w.PutString(state.relation);
+  desc.EncodeTo(&w);
+  state.filter.EncodeTo(&w);
+
+  Call(replicas[replica_idx], kScanPage, w.Release(),
+       [this, scan_id, desc, replica_idx](Status st, const std::string& reply) {
+         auto it = scans_.find(scan_id);
+         if (it == scans_.end()) return;
+         if (!st.ok()) {
+           StartPageScan(scan_id, desc, replica_idx + 1);
+           return;
+         }
+         Reader r(reply);
+         uint64_t parts, ids;
+         if (!r.GetVarint64(&parts).ok() || !r.GetVarint64(&ids).ok()) {
+           ScanFail(scan_id, Status::Corruption("bad page summary"));
+           return;
+         }
+         it->second.summaries_received += 1;
+         it->second.data_parts_expected += parts;
+         ScanCheckDone(scan_id);
+       });
+}
+
+void StorageService::FetchTuple(const std::string& rel, const TupleId& id,
+                                std::function<void(Status, Tuple)> cb) {
+  auto def = Relation(rel);
+  if (!def.ok()) {
+    cb(def.status(), {});
+    return;
+  }
+  auto replicas =
+      board_->current.ReplicasOf(PlacementHash(*def, id.key_bytes), replication_);
+  Writer w;
+  w.PutString(rel);
+  id.EncodeTo(&w);
+  std::string body = w.Release();
+
+  auto try_replica = std::make_shared<std::function<void(size_t)>>();
+  *try_replica = [this, replicas, body, cb = std::move(cb), try_replica](size_t i) {
+    if (i >= replicas.size()) {
+      cb(Status::Unavailable("tuple not found on any replica"), {});
+      return;
+    }
+    Call(replicas[i], kGetTuple, body,
+         [i, cb, try_replica](Status st, const std::string& reply) {
+           if (!st.ok()) {
+             (*try_replica)(i + 1);
+             return;
+           }
+           Reader r(reply);
+           Tuple t;
+           Status ds = DecodeTuple(&r, &t);
+           if (!ds.ok()) {
+             cb(ds, {});
+             return;
+           }
+           cb(Status::OK(), std::move(t));
+         });
+  };
+  (*try_replica)(0);
+}
+
+void StorageService::RecoverMissingTuple(uint64_t scan_id, const TupleId& id,
+                                         size_t replica_idx) {
+  auto it = scans_.find(scan_id);
+  if (it == scans_.end()) return;
+  ScanState& state = it->second;
+
+  auto def = Relation(state.relation);
+  if (!def.ok()) {
+    ScanFail(scan_id, def.status());
+    return;
+  }
+  auto replicas = board_->current.ReplicasOf(PlacementHash(*def, id.key_bytes),
+                                             replication_);
+  if (replica_idx >= replicas.size()) {
+    ScanFail(scan_id, Status::Unavailable("tuple lost from all replicas"));
+    return;
+  }
+  Writer w;
+  w.PutString(state.relation);
+  id.EncodeTo(&w);
+  Call(replicas[replica_idx], kGetTuple, w.Release(),
+       [this, scan_id, id, replica_idx](Status st, const std::string& reply) {
+         auto it = scans_.find(scan_id);
+         if (it == scans_.end()) return;
+         if (!st.ok()) {
+           RecoverMissingTuple(scan_id, id, replica_idx + 1);
+           return;
+         }
+         Reader r(reply);
+         Tuple t;
+         if (!DecodeTuple(&r, &t).ok()) {
+           ScanFail(scan_id, Status::Corruption("bad tuple reply"));
+           return;
+         }
+         it->second.rows.push_back(std::move(t));
+         it->second.lookups_outstanding -= 1;
+         ScanCheckDone(scan_id);
+       });
+}
+
+void StorageService::ScanCheckDone(uint64_t scan_id) {
+  auto it = scans_.find(scan_id);
+  if (it == scans_.end()) return;
+  ScanState& state = it->second;
+  if (state.failed) return;
+  if (state.summaries_received < state.pages_total) return;
+  if (state.data_parts_received < state.data_parts_expected) return;
+  if (state.lookups_outstanding > 0) return;
+  RetrieveCallback cb = std::move(state.cb);
+  std::vector<Tuple> rows = std::move(state.rows);
+  scans_.erase(it);
+  cb(Status::OK(), std::move(rows));
+}
+
+void StorageService::ScanFail(uint64_t scan_id, Status st) {
+  auto it = scans_.find(scan_id);
+  if (it == scans_.end()) return;
+  RetrieveCallback cb = std::move(it->second.cb);
+  scans_.erase(it);
+  cb(st, {});
+}
+
+// --------------------------------------------------------------------------
+// Background re-replication
+
+void StorageService::RebalanceTo(const overlay::RoutingSnapshot& snap) {
+  std::map<net::NodeId, Writer> batches;
+  std::map<net::NodeId, uint64_t> batch_counts;
+
+  auto add_to = [&](net::NodeId target, std::string_view key, std::string_view value) {
+    if (target == node()) return;
+    Writer& w = batches[target];
+    w.PutString(key);
+    w.PutString(value);
+    batch_counts[target] += 1;
+  };
+
+  for (auto it = store_.Seek(""); it.Valid(); it.Next()) {
+    std::string_view key = it.key();
+    if (key.empty()) continue;
+    std::vector<net::NodeId> targets;
+    switch (key[0]) {
+      case 'D': {
+        Reader r(key.substr(1));
+        std::string_view rel;
+        if (!r.GetStringView(&rel).ok()) continue;
+        char hash_bytes[20];
+        if (!r.GetRaw(hash_bytes, 20).ok()) continue;
+        HashId h = HashId::FromBigEndianBytes(std::string_view(hash_bytes, 20));
+        targets = snap.ReplicasOf(h, replication_);
+        break;
+      }
+      case 'P':
+      case 'I': {
+        Reader r(key.substr(1));
+        std::string_view rel;
+        if (!r.GetStringView(&rel).ok()) continue;
+        uint8_t pb[4];
+        if (!r.GetRaw(pb, 4).ok()) continue;
+        uint32_t partition = (static_cast<uint32_t>(pb[0]) << 24) |
+                             (static_cast<uint32_t>(pb[1]) << 16) |
+                             (static_cast<uint32_t>(pb[2]) << 8) | pb[3];
+        auto def = catalog_.find(std::string(rel));
+        if (def == catalog_.end()) continue;
+        targets = snap.ReplicasOf(PartitionHome(partition, def->second.num_partitions),
+                                  replication_);
+        break;
+      }
+      case 'C': {
+        Reader r(key.substr(1));
+        std::string_view rel;
+        if (!r.GetStringView(&rel).ok()) continue;
+        uint8_t eb[8];
+        if (!r.GetRaw(eb, 8).ok()) continue;
+        Epoch e = 0;
+        for (int i = 0; i < 8; ++i) e = (e << 8) | eb[i];
+        targets = snap.ReplicasOf(CoordinatorHash(std::string(rel), e), replication_);
+        break;
+      }
+      case 'M': {
+        for (const auto& m : snap.members()) targets.push_back(m.node);
+        break;
+      }
+      default:
+        continue;
+    }
+    for (net::NodeId t : targets) add_to(t, key, it.value());
+  }
+
+  for (auto& [target, w] : batches) {
+    Writer out;
+    out.PutVarint64(batch_counts[target]);
+    out.PutRaw(w.data().data(), w.size());
+    Call(target, kReplicaPush, out.Release(), [](Status, const std::string&) {});
+  }
+}
+
+}  // namespace orchestra::storage

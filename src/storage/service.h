@@ -1,0 +1,185 @@
+// StorageService: the per-node endpoint of the versioned storage protocol.
+// Every node simultaneously plays all Fig. 3 roles for the key ranges it
+// owns/replicates: relation coordinator, index node, inverse node, and data
+// storage node. The service also implements the client side of
+// Retrieve(R, e, f) — Algorithm 1 — with replica-retry on missing state, so
+// a retrieval can never observe stale data: a tuple version is reachable
+// only through the epoch's page list (§IV).
+#ifndef ORCHESTRA_STORAGE_SERVICE_H_
+#define ORCHESTRA_STORAGE_SERVICE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "localstore/local_store.h"
+#include "net/node_host.h"
+#include "overlay/ring.h"
+#include "storage/keys.h"
+#include "storage/page.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace orchestra::storage {
+
+/// Shared mutable view of the current routing table; the membership layer
+/// updates it, services read it. Queries instead pin an explicit snapshot.
+struct SnapshotBoard {
+  overlay::RoutingSnapshot current;
+};
+
+/// Storage protocol message codes (service kStorage).
+enum StorageCode : uint16_t {
+  kCatalogAdd = 1,
+  kPutTuples = 2,
+  kPutPage = 3,
+  kPutCoordinator = 4,
+  kGetCoordinator = 5,
+  kGetPage = 6,
+  kGetInverse = 7,
+  kGetTuple = 8,
+  kScanPage = 9,      // Algorithm 1, step 4: ask index node to scan a page
+  kFetchTuples = 10,  // Algorithm 1, step 8: index node -> data node
+  kTupleData = 11,    // Algorithm 1, step 9: data node -> requester (direct)
+  kReplicaPush = 12,  // background re-replication (PAST-style, §III-C)
+  kReply = 100,       // RPC reply envelope
+};
+
+/// Sargable filter pushed to index nodes: an inclusive key-bytes range.
+struct KeyFilter {
+  bool all = true;
+  std::string lo, hi;  // valid when !all
+
+  bool Matches(const std::string& key_bytes) const {
+    return all || (key_bytes >= lo && key_bytes <= hi);
+  }
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, KeyFilter* out);
+};
+
+class StorageService : public net::Service {
+ public:
+  using RpcCallback = std::function<void(Status, const std::string& body)>;
+  using RetrieveCallback =
+      std::function<void(Status, std::vector<Tuple>)>;
+
+  StorageService(net::NodeHost* host, std::shared_ptr<SnapshotBoard> board,
+                 int replication);
+
+  net::NodeId node() const { return host_->node(); }
+  int replication() const { return replication_; }
+  const overlay::RoutingSnapshot& snapshot() const { return board_->current; }
+  localstore::LocalStore& store() { return store_; }
+
+  // --- Local (same-node) API, used by the query engine and tests ----------
+  void AddRelationLocal(const RelationDef& def);
+  Result<RelationDef> Relation(const std::string& name) const;
+  std::vector<std::string> RelationNames() const;
+  Result<CoordinatorRecord> ReadCoordinatorLocal(const std::string& rel, Epoch e) const;
+  Result<Page> ReadPageLocal(const PageId& id) const;
+  Result<PageId> ReadInverseLocal(const std::string& rel, uint32_t partition) const;
+  Result<Tuple> ReadTupleLocal(const std::string& rel, const TupleId& id) const;
+  /// Single ordered pass over the page's hash range, yielding tuples present
+  /// in the page. Ids in the page but missing locally are appended to
+  /// `missing` (stale replica). CPU is charged per record scanned.
+  Status ScanPageLocal(const std::string& rel, const Page& page,
+                       const KeyFilter& filter,
+                       const std::function<void(const TupleId&, Tuple)>& yield,
+                       std::vector<TupleId>* missing);
+
+  // --- Asynchronous RPC -----------------------------------------------------
+  /// Sends a request; `cb` fires with the reply, a timeout, or Unavailable
+  /// if the connection drops first.
+  void Call(net::NodeId to, uint16_t code, std::string body, RpcCallback cb,
+            sim::SimTime timeout_us = 60 * sim::kMicrosPerSec);
+  /// Sends the same request to several nodes; cb(OK) when all succeed, else
+  /// the first error.
+  void CallAll(const std::vector<net::NodeId>& targets, uint16_t code,
+               const std::string& body, std::function<void(Status)> cb);
+  /// Fire-and-forget message (no reply expected).
+  void SendOneWay(net::NodeId to, uint16_t code, std::string body);
+
+  // --- Distributed reads ----------------------------------------------------
+  /// Fetches the coordinator record for (rel, epoch), retrying replicas.
+  void GetCoordinator(const std::string& rel, Epoch epoch,
+                      std::function<void(Status, CoordinatorRecord)> cb);
+  /// Fetches a page from its index node, retrying replicas.
+  void GetPage(const PageDescriptor& desc,
+               std::function<void(Status, Page)> cb);
+  /// Algorithm 1: Retrieve(R, e, f). Returns all matching tuples via cb.
+  void Retrieve(const std::string& rel, Epoch epoch, const KeyFilter& filter,
+                RetrieveCallback cb);
+  /// Fetches one tuple version, trying each replica of its data node in turn
+  /// (used when a local replica is stale, §IV).
+  void FetchTuple(const std::string& rel, const TupleId& id,
+                  std::function<void(Status, Tuple)> cb);
+
+  /// Re-replicates local state according to `snap` (background replication
+  /// after membership change). Sends batched kReplicaPush messages.
+  void RebalanceTo(const overlay::RoutingSnapshot& snap);
+
+  // --- net::Service ----------------------------------------------------------
+  void OnMessage(net::NodeId from, uint16_t code, const std::string& payload) override;
+  void OnConnectionDrop(net::NodeId peer) override;
+
+  struct Counters {
+    uint64_t tuples_stored = 0;
+    uint64_t pages_stored = 0;
+    uint64_t coordinators_stored = 0;
+    uint64_t scans_served = 0;
+    uint64_t tuples_served = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct PendingCall {
+    net::NodeId to;
+    RpcCallback cb;
+    sim::Simulator::EventId timeout_event;
+  };
+
+  struct ScanState {
+    std::string relation;
+    Epoch epoch;
+    KeyFilter filter;
+    RetrieveCallback cb;
+    size_t pages_total = 0;
+    size_t summaries_received = 0;
+    size_t data_parts_expected = 0;
+    size_t data_parts_received = 0;
+    size_t lookups_outstanding = 0;  // retries of individually missing tuples
+    std::vector<Tuple> rows;
+    bool failed = false;
+  };
+
+  void Respond(net::NodeId to, uint64_t req_id, Status st, std::string body);
+  void HandleRequest(net::NodeId from, uint16_t code, Reader* r, uint64_t req_id);
+  void HandleScanPage(net::NodeId from, Reader* r, uint64_t req_id);
+  void HandleFetchTuples(net::NodeId from, Reader* r);
+  void HandleTupleData(net::NodeId from, Reader* r);
+  void ScanCheckDone(uint64_t scan_id);
+  void ScanFail(uint64_t scan_id, Status st);
+  void StartPageScan(uint64_t scan_id, const PageDescriptor& desc, size_t replica_idx);
+  void RecoverMissingTuple(uint64_t scan_id, const TupleId& id, size_t replica_idx);
+
+  void ChargeCpu(double micros) { host_->network()->ChargeCpu(node(), micros); }
+
+  net::NodeHost* host_;
+  std::shared_ptr<SnapshotBoard> board_;
+  int replication_;
+  localstore::LocalStore store_;
+  std::map<std::string, RelationDef> catalog_;
+  uint64_t next_req_id_ = 1;
+  std::unordered_map<uint64_t, PendingCall> pending_;
+  uint64_t next_scan_id_ = 1;
+  std::unordered_map<uint64_t, ScanState> scans_;
+  Counters counters_;
+};
+
+}  // namespace orchestra::storage
+
+#endif  // ORCHESTRA_STORAGE_SERVICE_H_

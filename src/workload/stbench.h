@@ -1,0 +1,51 @@
+// STBenchmark-style schema-mapping workload (§VI-A). The paper ran the
+// STBenchmark instance/mapping generator (nesting depth 0) producing wide
+// relations of 25-character variable-length strings, and selected five
+// representative mapping scenarios:
+//   Copy           — retrieve an entire 7-attribute relation
+//   Select         — 6-attribute relation, simple integer inequality
+//   Join           — 7-, 5-, and 9-attribute relations joined on two attrs
+//   Concatenate    — 6-attribute relation; concat three attrs, keep the rest
+//   Correspondence — 7-attribute relation + value correspondence table that
+//                    adds an integer ID keyed by two input attributes (the
+//                    Skolem-function replacement the paper describes)
+#ifndef ORCHESTRA_WORKLOAD_STBENCH_H_
+#define ORCHESTRA_WORKLOAD_STBENCH_H_
+
+#include "workload/workload.h"
+
+namespace orchestra::workload {
+
+enum class StbScenario : int {
+  kCopy = 0,
+  kSelect = 1,
+  kJoin = 2,
+  kConcatenate = 3,
+  kCorrespondence = 4,
+};
+
+constexpr StbScenario kAllStbScenarios[] = {
+    StbScenario::kCopy, StbScenario::kSelect, StbScenario::kJoin,
+    StbScenario::kConcatenate, StbScenario::kCorrespondence};
+
+const char* StbScenarioName(StbScenario s);
+
+struct StbConfig {
+  uint64_t tuples_per_relation = 10000;
+  uint64_t seed = 1;
+  uint32_t num_partitions = 32;
+  /// STBenchmark's strings are 25-character variable-length values.
+  uint32_t string_len = 25;
+};
+
+/// Generates the relation(s) a scenario reads.
+std::vector<GeneratedRelation> StbGenerate(StbScenario scenario,
+                                           const StbConfig& config);
+
+/// The scenario's mapping query (single-block SQL over the generated
+/// relations).
+std::string StbQuerySql(StbScenario scenario);
+
+}  // namespace orchestra::workload
+
+#endif  // ORCHESTRA_WORKLOAD_STBENCH_H_

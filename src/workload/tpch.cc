@@ -1,0 +1,320 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "sql/parser.h"
+
+namespace orchestra::workload {
+
+using storage::ColumnDef;
+using storage::RelationDef;
+using storage::Schema;
+using storage::Tuple;
+using storage::Value;
+using storage::ValueType;
+
+int64_t TpchDate(int y, int m, int d) { return sql::DateToDays(y, m, d); }
+
+namespace {
+
+const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+struct NationSpec {
+  const char* name;
+  int region;
+};
+// The 25 TPC-H nations and their regions.
+const NationSpec kNations[25] = {
+    {"ALGERIA", 0},    {"ARGENTINA", 1}, {"BRAZIL", 1},     {"CANADA", 1},
+    {"EGYPT", 4},      {"ETHIOPIA", 0},  {"FRANCE", 3},     {"GERMANY", 3},
+    {"INDIA", 2},      {"INDONESIA", 2}, {"IRAN", 4},       {"IRAQ", 4},
+    {"JAPAN", 2},      {"JORDAN", 4},    {"KENYA", 0},      {"MOROCCO", 0},
+    {"MOZAMBIQUE", 0}, {"PERU", 1},      {"CHINA", 2},      {"ROMANIA", 3},
+    {"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},     {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                            "HOUSEHOLD"};
+const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                              "5-LOW"};
+
+Value Txt(Rng* rng, uint32_t min_len, uint32_t max_len) {
+  return Value(rng->AlphaString(min_len + rng->Uniform(max_len - min_len + 1)));
+}
+
+}  // namespace
+
+std::vector<GeneratedRelation> TpchGenerate(const TpchConfig& cfg) {
+  Rng rng(cfg.seed);
+  const double sf = cfg.scale_factor;
+  const int64_t n_supplier = std::max<int64_t>(2, static_cast<int64_t>(10000 * sf));
+  const int64_t n_part = std::max<int64_t>(4, static_cast<int64_t>(200000 * sf));
+  const int64_t n_customer = std::max<int64_t>(4, static_cast<int64_t>(150000 * sf));
+  const int64_t n_orders = std::max<int64_t>(8, static_cast<int64_t>(1500000 * sf));
+
+  const int64_t start_date = TpchDate(1992, 1, 1);
+  const int64_t end_date = TpchDate(1998, 8, 2);
+  const int64_t cutoff = TpchDate(1995, 6, 17);
+
+  std::vector<GeneratedRelation> out;
+
+  // region
+  {
+    GeneratedRelation r;
+    r.def.name = "region";
+    r.def.schema = Schema({{"r_regionkey", ValueType::kInt64},
+                           {"r_name", ValueType::kString}},
+                          1);
+    r.def.num_partitions = 2;
+    r.def.replicate_everywhere = true;
+    for (int64_t i = 0; i < 5; ++i) {
+      r.rows.push_back({Value(i), Value(std::string(kRegions[i]))});
+    }
+    out.push_back(std::move(r));
+  }
+  // nation
+  {
+    GeneratedRelation r;
+    r.def.name = "nation";
+    r.def.schema = Schema({{"n_nationkey", ValueType::kInt64},
+                           {"n_name", ValueType::kString},
+                           {"n_regionkey", ValueType::kInt64}},
+                          1);
+    r.def.num_partitions = 2;
+    r.def.replicate_everywhere = true;
+    for (int64_t i = 0; i < 25; ++i) {
+      r.rows.push_back({Value(i), Value(std::string(kNations[i].name)),
+                        Value(static_cast<int64_t>(kNations[i].region))});
+    }
+    out.push_back(std::move(r));
+  }
+  // supplier
+  {
+    GeneratedRelation r;
+    r.def.name = "supplier";
+    r.def.schema = Schema({{"s_suppkey", ValueType::kInt64},
+                           {"s_name", ValueType::kString},
+                           {"s_nationkey", ValueType::kInt64},
+                           {"s_acctbal", ValueType::kDouble}},
+                          1);
+    r.def.num_partitions = cfg.num_partitions;
+    for (int64_t i = 1; i <= n_supplier; ++i) {
+      r.rows.push_back({Value(i), Value("Supplier#" + std::to_string(i)),
+                        Value(static_cast<int64_t>(rng.Uniform(25))),
+                        Value(-999.99 + rng.NextDouble() * 10998.98)});
+    }
+    out.push_back(std::move(r));
+  }
+  // part
+  {
+    GeneratedRelation r;
+    r.def.name = "part";
+    r.def.schema = Schema({{"p_partkey", ValueType::kInt64},
+                           {"p_name", ValueType::kString},
+                           {"p_brand", ValueType::kString},
+                           {"p_type", ValueType::kString},
+                           {"p_size", ValueType::kInt64},
+                           {"p_retailprice", ValueType::kDouble}},
+                          1);
+    r.def.num_partitions = cfg.num_partitions;
+    for (int64_t i = 1; i <= n_part; ++i) {
+      r.rows.push_back(
+          {Value(i), Txt(&rng, 15, 30),
+           Value("Brand#" + std::to_string(1 + rng.Uniform(5)) +
+                 std::to_string(1 + rng.Uniform(5))),
+           Txt(&rng, 10, 25), Value(static_cast<int64_t>(1 + rng.Uniform(50))),
+           Value(900.0 + static_cast<double>(i % 1000))});
+    }
+    out.push_back(std::move(r));
+  }
+  // partsupp: 4 per part, keyed (ps_partkey, ps_suppkey), placed by partkey.
+  {
+    GeneratedRelation r;
+    r.def.name = "partsupp";
+    r.def.schema = Schema({{"ps_partkey", ValueType::kInt64},
+                           {"ps_suppkey", ValueType::kInt64},
+                           {"ps_availqty", ValueType::kInt64},
+                           {"ps_supplycost", ValueType::kDouble}},
+                          2);
+    r.def.partition_key_arity = 1;
+    r.def.num_partitions = cfg.num_partitions;
+    for (int64_t p = 1; p <= n_part; ++p) {
+      for (int j = 0; j < 4; ++j) {
+        int64_t s = 1 + static_cast<int64_t>((p + j * (n_supplier / 4 + 1)) %
+                                             n_supplier);
+        r.rows.push_back({Value(p), Value(s),
+                          Value(static_cast<int64_t>(1 + rng.Uniform(9999))),
+                          Value(1.0 + rng.NextDouble() * 999.0)});
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  // customer
+  {
+    GeneratedRelation r;
+    r.def.name = "customer";
+    r.def.schema = Schema({{"c_custkey", ValueType::kInt64},
+                           {"c_name", ValueType::kString},
+                           {"c_address", ValueType::kString},
+                           {"c_nationkey", ValueType::kInt64},
+                           {"c_phone", ValueType::kString},
+                           {"c_acctbal", ValueType::kDouble},
+                           {"c_mktsegment", ValueType::kString},
+                           {"c_comment", ValueType::kString}},
+                          1);
+    r.def.num_partitions = cfg.num_partitions;
+    for (int64_t i = 1; i <= n_customer; ++i) {
+      r.rows.push_back({Value(i), Value("Customer#" + std::to_string(i)),
+                        Txt(&rng, 10, 40),
+                        Value(static_cast<int64_t>(rng.Uniform(25))),
+                        Txt(&rng, 15, 15),
+                        Value(-999.99 + rng.NextDouble() * 10998.98),
+                        Value(std::string(kSegments[rng.Uniform(5)])),
+                        Txt(&rng, 29, 116)});
+    }
+    out.push_back(std::move(r));
+  }
+  // orders + lineitem
+  {
+    GeneratedRelation orders;
+    orders.def.name = "orders";
+    orders.def.schema = Schema({{"o_orderkey", ValueType::kInt64},
+                                {"o_custkey", ValueType::kInt64},
+                                {"o_orderstatus", ValueType::kString},
+                                {"o_totalprice", ValueType::kDouble},
+                                {"o_orderdate", ValueType::kInt64},
+                                {"o_orderpriority", ValueType::kString},
+                                {"o_shippriority", ValueType::kInt64}},
+                               1);
+    orders.def.num_partitions = cfg.num_partitions;
+
+    GeneratedRelation lineitem;
+    lineitem.def.name = "lineitem";
+    lineitem.def.schema = Schema({{"l_orderkey", ValueType::kInt64},
+                                  {"l_linenumber", ValueType::kInt64},
+                                  {"l_partkey", ValueType::kInt64},
+                                  {"l_suppkey", ValueType::kInt64},
+                                  {"l_quantity", ValueType::kDouble},
+                                  {"l_extendedprice", ValueType::kDouble},
+                                  {"l_discount", ValueType::kDouble},
+                                  {"l_tax", ValueType::kDouble},
+                                  {"l_returnflag", ValueType::kString},
+                                  {"l_linestatus", ValueType::kString},
+                                  {"l_shipdate", ValueType::kInt64},
+                                  {"l_commitdate", ValueType::kInt64},
+                                  {"l_receiptdate", ValueType::kInt64}},
+                                 2);
+    // Keyed (orderkey, linenumber) but PLACED by orderkey: co-partitioned
+    // with orders (§VI-A "first key attribute").
+    lineitem.def.partition_key_arity = 1;
+    lineitem.def.num_partitions = cfg.num_partitions;
+
+    for (int64_t o = 1; o <= n_orders; ++o) {
+      int64_t custkey = 1 + static_cast<int64_t>(rng.Uniform(n_customer));
+      int64_t orderdate =
+          start_date + static_cast<int64_t>(
+                           rng.Uniform(static_cast<uint64_t>(end_date - start_date - 151)));
+      int n_lines = 1 + static_cast<int>(rng.Uniform(7));
+      double total = 0;
+      int finished = 0;
+      for (int l = 1; l <= n_lines; ++l) {
+        double qty = 1 + static_cast<double>(rng.Uniform(50));
+        double price = 900.0 + static_cast<double>(rng.Uniform(104000)) / 1.04;
+        double extended = qty * price / 100.0;
+        double discount = static_cast<double>(rng.Uniform(11)) / 100.0;
+        double tax = static_cast<double>(rng.Uniform(9)) / 100.0;
+        int64_t shipdate = orderdate + 1 + static_cast<int64_t>(rng.Uniform(121));
+        int64_t commitdate = orderdate + 30 + static_cast<int64_t>(rng.Uniform(61));
+        int64_t receiptdate = shipdate + 1 + static_cast<int64_t>(rng.Uniform(30));
+        std::string returnflag =
+            receiptdate <= cutoff ? (rng.OneIn(2) ? "R" : "A") : "N";
+        std::string linestatus = shipdate > cutoff ? "O" : "F";
+        if (linestatus == "F") ++finished;
+        total += extended;
+        lineitem.rows.push_back({Value(o), Value(static_cast<int64_t>(l)),
+                                 Value(1 + static_cast<int64_t>(rng.Uniform(n_part))),
+                                 Value(1 + static_cast<int64_t>(rng.Uniform(n_supplier))),
+                                 Value(qty), Value(extended), Value(discount),
+                                 Value(tax), Value(returnflag), Value(linestatus),
+                                 Value(shipdate), Value(commitdate),
+                                 Value(receiptdate)});
+      }
+      std::string status = finished == n_lines ? "F" : (finished == 0 ? "O" : "P");
+      orders.rows.push_back({Value(o), Value(custkey), Value(status), Value(total),
+                             Value(orderdate),
+                             Value(std::string(kPriorities[rng.Uniform(5)])),
+                             Value(int64_t{0})});
+    }
+    out.push_back(std::move(orders));
+    out.push_back(std::move(lineitem));
+  }
+  return out;
+}
+
+std::vector<std::string> TpchQueryNames() { return {"Q1", "Q3", "Q5", "Q6", "Q10"}; }
+
+std::string TpchQuerySql(const std::string& name) {
+  if (name == "Q1") {
+    return "SELECT l_returnflag, l_linestatus, "
+           "SUM(l_quantity) AS sum_qty, "
+           "SUM(l_extendedprice) AS sum_base_price, "
+           "SUM(l_extendedprice * (1.0 - l_discount)) AS sum_disc_price, "
+           "SUM(l_extendedprice * (1.0 - l_discount) * (1.0 + l_tax)) AS sum_charge, "
+           "AVG(l_quantity) AS avg_qty, "
+           "AVG(l_extendedprice) AS avg_price, "
+           "AVG(l_discount) AS avg_disc, "
+           "COUNT(*) AS count_order "
+           "FROM lineitem "
+           "WHERE l_shipdate <= date '1998-12-01' - interval '90' day "
+           "GROUP BY l_returnflag, l_linestatus "
+           "ORDER BY l_returnflag, l_linestatus";
+  }
+  if (name == "Q3") {
+    return "SELECT l_orderkey, "
+           "SUM(l_extendedprice * (1.0 - l_discount)) AS revenue, "
+           "o_orderdate, o_shippriority "
+           "FROM customer, orders, lineitem "
+           "WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey "
+           "AND l_orderkey = o_orderkey "
+           "AND o_orderdate < date '1995-03-15' "
+           "AND l_shipdate > date '1995-03-15' "
+           "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+           "ORDER BY revenue DESC, o_orderdate LIMIT 10";
+  }
+  if (name == "Q5") {
+    return "SELECT n_name, "
+           "SUM(l_extendedprice * (1.0 - l_discount)) AS revenue "
+           "FROM customer, orders, lineitem, supplier, nation, region "
+           "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+           "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+           "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+           "AND r_name = 'ASIA' "
+           "AND o_orderdate >= date '1994-01-01' "
+           "AND o_orderdate < date '1995-01-01' "
+           "GROUP BY n_name ORDER BY revenue DESC";
+  }
+  if (name == "Q6") {
+    return "SELECT SUM(l_extendedprice * l_discount) AS revenue "
+           "FROM lineitem "
+           "WHERE l_shipdate >= date '1994-01-01' "
+           "AND l_shipdate < date '1995-01-01' "
+           "AND l_discount BETWEEN 0.05 AND 0.07 "
+           "AND l_quantity < 24.0";
+  }
+  if (name == "Q10") {
+    return "SELECT c_custkey, c_name, "
+           "SUM(l_extendedprice * (1.0 - l_discount)) AS revenue, "
+           "c_acctbal, n_name, c_address, c_phone "
+           "FROM customer, orders, lineitem, nation "
+           "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+           "AND o_orderdate >= date '1993-10-01' "
+           "AND o_orderdate < date '1994-01-01' "
+           "AND l_returnflag = 'R' AND c_nationkey = n_nationkey "
+           "GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address "
+           "ORDER BY revenue DESC LIMIT 20";
+  }
+  return "";
+}
+
+}  // namespace orchestra::workload

@@ -1,0 +1,34 @@
+// TPC-H workload (§VI-A): a dbgen-style generator with the spec's table
+// cardinalities and the value distributions the paper's five queries (Q1,
+// Q3, Q5, Q6, Q10 — the single-SQL-block subset) are sensitive to. The 8
+// tables are partitioned on their key attribute ("first key attribute, if
+// more than one") and Nation/Region are replicated at every node.
+#ifndef ORCHESTRA_WORKLOAD_TPCH_H_
+#define ORCHESTRA_WORKLOAD_TPCH_H_
+
+#include "workload/workload.h"
+
+namespace orchestra::workload {
+
+struct TpchConfig {
+  /// Scale factor. SF 1 = 6M lineitems; the paper used 0.25-10. Benches
+  /// default far smaller (the simulator trades absolute scale for fidelity).
+  double scale_factor = 0.01;
+  uint64_t seed = 7;
+  uint32_t num_partitions = 32;
+};
+
+/// All 8 tables with data.
+std::vector<GeneratedRelation> TpchGenerate(const TpchConfig& config);
+
+/// The paper's query set.
+std::vector<std::string> TpchQueryNames();  // {"Q1","Q3","Q5","Q6","Q10"}
+/// Single-block SQL for a query name ("" if unknown).
+std::string TpchQuerySql(const std::string& name);
+
+/// Day-number constants used by the generator/queries.
+int64_t TpchDate(int y, int m, int d);
+
+}  // namespace orchestra::workload
+
+#endif  // ORCHESTRA_WORKLOAD_TPCH_H_

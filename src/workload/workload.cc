@@ -1,0 +1,64 @@
+#include "workload/workload.h"
+
+#include <set>
+
+#include "common/log.h"
+
+namespace orchestra::workload {
+
+Result<storage::Epoch> Load(deploy::Deployment* dep, size_t via_node,
+                            const std::vector<GeneratedRelation>& relations) {
+  for (const GeneratedRelation& rel : relations) {
+    ORC_RETURN_IF_ERROR(dep->CreateRelation(via_node, rel.def));
+  }
+  storage::UpdateBatch batch;
+  for (const GeneratedRelation& rel : relations) {
+    auto& updates = batch[rel.def.name];
+    updates.reserve(rel.rows.size());
+    for (const storage::Tuple& t : rel.rows) {
+      updates.push_back(storage::Update::Insert(t));
+    }
+  }
+  return dep->Publish(via_node, std::move(batch));
+}
+
+query::ReferenceDatabase AsReferenceDb(const std::vector<GeneratedRelation>& rels) {
+  query::ReferenceDatabase db;
+  for (const GeneratedRelation& rel : rels) db[rel.def.name] = rel.rows;
+  return db;
+}
+
+optimizer::StatsCatalog StatsFor(const std::vector<GeneratedRelation>& rels) {
+  optimizer::StatsCatalog stats;
+  for (const GeneratedRelation& rel : rels) {
+    optimizer::RelationStats rs;
+    rs.row_count = rel.rows.size();
+    double bytes = 0;
+    size_t sample = std::min<size_t>(rel.rows.size(), 64);
+    for (size_t i = 0; i < sample; ++i) {
+      for (const auto& v : rel.rows[i]) {
+        bytes += v.type() == storage::ValueType::kString
+                     ? 2.0 + static_cast<double>(v.AsString().size())
+                     : 9.0;
+      }
+    }
+    rs.avg_tuple_bytes = sample > 0 ? bytes / static_cast<double>(sample) : 64;
+    // Exact per-column distinct counts (cheap at generator scale); the
+    // optimizer uses them to size aggregation strategies.
+    rs.column_distinct.resize(rel.def.schema.arity(), 0);
+    for (size_t c = 0; c < rel.def.schema.arity(); ++c) {
+      std::set<std::string> uniq;
+      for (const auto& row : rel.rows) {
+        Writer w;
+        row[c].EncodeTo(&w);
+        uniq.insert(w.Release());
+        if (uniq.size() > 4096) break;  // "many" is all the planner needs
+      }
+      rs.column_distinct[c] = uniq.size();
+    }
+    stats[rel.def.name] = rs;
+  }
+  return stats;
+}
+
+}  // namespace orchestra::workload

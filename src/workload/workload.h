@@ -1,0 +1,34 @@
+// Shared workload plumbing: generated relations and a loader that publishes
+// them into a deployment the way a participant would (§II).
+#ifndef ORCHESTRA_WORKLOAD_WORKLOAD_H_
+#define ORCHESTRA_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "deploy/deployment.h"
+#include "optimizer/logical.h"
+#include "query/reference.h"
+#include "storage/schema.h"
+
+namespace orchestra::workload {
+
+struct GeneratedRelation {
+  storage::RelationDef def;
+  std::vector<storage::Tuple> rows;
+};
+
+/// Creates the relations and publishes all rows (in one batch per relation
+/// group) via `via_node`. Returns the epoch holding the loaded snapshot.
+Result<storage::Epoch> Load(deploy::Deployment* dep, size_t via_node,
+                            const std::vector<GeneratedRelation>& relations);
+
+/// Reference-executor view of generated data (for correctness checks).
+query::ReferenceDatabase AsReferenceDb(const std::vector<GeneratedRelation>& rels);
+
+/// Derives optimizer statistics from generated data.
+optimizer::StatsCatalog StatsFor(const std::vector<GeneratedRelation>& rels);
+
+}  // namespace orchestra::workload
+
+#endif  // ORCHESTRA_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,199 @@
+// End-to-end integration: generator -> publish -> SQL -> optimizer ->
+// distributed execution, checked against the reference executor for every
+// query in the paper's evaluation (§VI-A), with and without failures.
+#include <gtest/gtest.h>
+
+#include "deploy/deployment.h"
+#include "optimizer/optimizer.h"
+#include "query/reference.h"
+#include "sql/parser.h"
+#include "workload/stbench.h"
+#include "workload/tpch.h"
+
+namespace orchestra {
+namespace {
+
+using workload::GeneratedRelation;
+
+struct LoadedCluster {
+  std::unique_ptr<deploy::Deployment> dep;
+  std::vector<GeneratedRelation> rels;
+  storage::Epoch epoch = 0;
+  query::ReferenceDatabase ref_db;
+  optimizer::StatsCatalog stats;
+
+  optimizer::CatalogView Catalog() {
+    return [this](const std::string& name) { return dep->storage(0).Relation(name); };
+  }
+
+  Result<optimizer::PlannedQuery> Plan(const std::string& sql_text) {
+    auto q = sql::ParseAndAnalyze(sql_text, Catalog());
+    ORC_RETURN_IF_ERROR(q.status());
+    optimizer::CostParams params;
+    params.num_nodes = dep->size();
+    optimizer::Optimizer opt(stats, params);
+    return opt.Plan(*q);
+  }
+};
+
+LoadedCluster MakeCluster(std::vector<GeneratedRelation> rels, size_t nodes) {
+  LoadedCluster c;
+  deploy::DeploymentOptions opts;
+  opts.num_nodes = nodes;
+  c.dep = std::make_unique<deploy::Deployment>(opts);
+  c.rels = std::move(rels);
+  auto epoch = workload::Load(c.dep.get(), 0, c.rels);
+  EXPECT_TRUE(epoch.ok()) << epoch.status().ToString();
+  c.epoch = epoch.ok() ? *epoch : 0;
+  c.ref_db = workload::AsReferenceDb(c.rels);
+  c.stats = workload::StatsFor(c.rels);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// STBenchmark scenarios, distributed == reference.
+
+class StbDistributed : public ::testing::TestWithParam<workload::StbScenario> {};
+
+TEST_P(StbDistributed, MatchesReference) {
+  workload::StbConfig cfg;
+  cfg.tuples_per_relation = 600;
+  cfg.num_partitions = 16;
+  auto cluster = MakeCluster(workload::StbGenerate(GetParam(), cfg), 4);
+
+  auto planned = cluster.Plan(workload::StbQuerySql(GetParam()));
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  auto result = cluster.dep->ExecuteQuery(1, planned->plan, cluster.epoch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto expect = query::ReferenceExecute(planned->plan, cluster.ref_db);
+  ASSERT_TRUE(expect.ok());
+  EXPECT_TRUE(query::SameBagApprox(result->rows, *expect))
+      << workload::StbScenarioName(GetParam()) << ": got " << result->rows.size()
+      << " want " << expect->size() << "\n"
+      << planned->plan.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, StbDistributed,
+                         ::testing::ValuesIn(workload::kAllStbScenarios),
+                         [](const auto& info) {
+                           return workload::StbScenarioName(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// TPC-H queries, distributed == reference.
+
+class TpchDistributed : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TpchDistributed, MatchesReference) {
+  workload::TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  cfg.num_partitions = 16;
+  auto cluster = MakeCluster(workload::TpchGenerate(cfg), 4);
+
+  auto planned = cluster.Plan(workload::TpchQuerySql(GetParam()));
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  auto result = cluster.dep->ExecuteQuery(0, planned->plan, cluster.epoch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto expect = query::ReferenceExecute(planned->plan, cluster.ref_db);
+  ASSERT_TRUE(expect.ok());
+  EXPECT_TRUE(query::SameBagApprox(result->rows, *expect))
+      << GetParam() << ": got " << result->rows.size() << " want " << expect->size()
+      << "\n" << planned->plan.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQueries, TpchDistributed,
+                         ::testing::ValuesIn(workload::TpchQueryNames()),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// TPC-H under failure: Q1 and Q10 (the paper's Fig. 21 pair) with a node
+// killed mid-query, for both recovery modes.
+
+struct FailCase {
+  std::string query;
+  query::QueryOptions::RecoveryMode mode;
+  double fraction;
+};
+
+class TpchFailure : public ::testing::TestWithParam<FailCase> {};
+
+TEST_P(TpchFailure, ExactAnswerDespiteFailure) {
+  workload::TpchConfig cfg;
+  cfg.scale_factor = 0.004;
+  cfg.num_partitions = 24;
+  auto cluster = MakeCluster(workload::TpchGenerate(cfg), 8);
+
+  auto planned = cluster.Plan(workload::TpchQuerySql(GetParam().query));
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  auto expect = query::ReferenceExecute(planned->plan, cluster.ref_db);
+  ASSERT_TRUE(expect.ok());
+
+  // Calibrate, then fail a node at the requested fraction of the runtime.
+  auto base = cluster.dep->ExecuteQuery(0, planned->plan, cluster.epoch);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  ASSERT_TRUE(query::SameBagApprox(base->rows, *expect));
+
+  bool done = false;
+  Status status;
+  query::QueryResult result;
+  query::QueryOptions opts;
+  opts.recovery = GetParam().mode;
+  cluster.dep->query(0).Execute(planned->plan, cluster.epoch, opts,
+                                [&](Status st, query::QueryResult r) {
+                                  status = st;
+                                  result = std::move(r);
+                                  done = true;
+                                });
+  cluster.dep->RunFor(static_cast<sim::SimTime>(
+      GetParam().fraction * static_cast<double>(base->execution_us)));
+  ASSERT_FALSE(done);
+  cluster.dep->KillNode(5, /*update_routing=*/false);
+  ASSERT_TRUE(cluster.dep->RunUntil([&] { return done; }, 600 * sim::kMicrosPerSec));
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(query::SameBagApprox(result.rows, *expect))
+      << GetParam().query << " got " << result.rows.size() << " want "
+      << expect->size();
+  if (GetParam().mode == query::QueryOptions::RecoveryMode::kIncremental) {
+    EXPECT_EQ(result.recoveries, 1u);
+  } else {
+    EXPECT_EQ(result.restarts, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig21Pairs, TpchFailure,
+    ::testing::Values(
+        FailCase{"Q1", query::QueryOptions::RecoveryMode::kIncremental, 0.4},
+        FailCase{"Q1", query::QueryOptions::RecoveryMode::kRestart, 0.4},
+        FailCase{"Q10", query::QueryOptions::RecoveryMode::kIncremental, 0.5},
+        FailCase{"Q10", query::QueryOptions::RecoveryMode::kRestart, 0.5}),
+    [](const auto& info) {
+      return info.param.query +
+             (info.param.mode == query::QueryOptions::RecoveryMode::kIncremental
+                  ? "_Recovery"
+                  : "_Restart");
+    });
+
+// ---------------------------------------------------------------------------
+// Provenance-overhead ablation hook: queries run identically (same answers)
+// with provenance tagging disabled.
+
+TEST(ProvenanceAblation, SameAnswersWithoutTagging) {
+  workload::TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  auto cluster = MakeCluster(workload::TpchGenerate(cfg), 4);
+  auto planned = cluster.Plan(workload::TpchQuerySql("Q3"));
+  ASSERT_TRUE(planned.ok());
+
+  query::QueryOptions with, without;
+  without.provenance = false;
+  without.recovery = query::QueryOptions::RecoveryMode::kNone;
+  auto a = cluster.dep->ExecuteQuery(0, planned->plan, cluster.epoch, with);
+  auto b = cluster.dep->ExecuteQuery(0, planned->plan, cluster.epoch, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(query::SameBagApprox(a->rows, b->rows));
+}
+
+}  // namespace
+}  // namespace orchestra

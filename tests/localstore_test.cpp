@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "localstore/local_store.h"
+
+namespace orchestra::localstore {
+namespace {
+
+TEST(LocalStore, PutGetOverwrite) {
+  LocalStore store;
+  ASSERT_TRUE(store.Put("k1", "v1").ok());
+  auto v = store.Get("k1");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v1");
+  ASSERT_TRUE(store.Put("k1", "v2").ok());
+  EXPECT_EQ(*store.Get("k1"), "v2");
+  EXPECT_EQ(store.entry_count(), 1u);
+}
+
+TEST(LocalStore, GetMissingIsNotFound) {
+  LocalStore store;
+  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
+}
+
+TEST(LocalStore, EmptyKeyRejected) {
+  LocalStore store;
+  EXPECT_TRUE(store.Put("", "v").IsInvalidArgument());
+}
+
+TEST(LocalStore, DeleteIsIdempotent) {
+  LocalStore store;
+  store.Put("k", "v").ok();
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_FALSE(store.Contains("k"));
+  ASSERT_TRUE(store.Delete("k").ok());  // again, no error
+}
+
+TEST(LocalStore, OrderedIteration) {
+  LocalStore store;
+  store.Put("b", "2").ok();
+  store.Put("a", "1").ok();
+  store.Put("c", "3").ok();
+  std::string keys;
+  for (auto it = store.Seek(""); it.Valid(); it.Next()) keys += it.key();
+  EXPECT_EQ(keys, "abc");
+}
+
+TEST(LocalStore, SeekStartsAtLowerBound) {
+  LocalStore store;
+  store.Put("apple", "1").ok();
+  store.Put("banana", "2").ok();
+  store.Put("cherry", "3").ok();
+  auto it = store.Seek("b");
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), "banana");
+}
+
+TEST(LocalStore, PrefixScan) {
+  LocalStore store;
+  store.Put("x/1", "a").ok();
+  store.Put("x/2", "b").ok();
+  store.Put("y/1", "c").ok();
+  int count = 0;
+  for (auto it = store.SeekPrefix("x/"); LocalStore::WithinPrefix(it, "x/"); it.Next()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(LocalStore, BinaryKeysAndValues) {
+  LocalStore store;
+  std::string key("\x01\x00\xFF\x7F", 4);
+  std::string value(1024, '\0');
+  value[512] = 'x';
+  ASSERT_TRUE(store.Put(key, value).ok());
+  auto v = store.Get(key);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, value);
+}
+
+TEST(LocalStore, RecoverRebuildsIdenticalIndex) {
+  LocalStore store;
+  Rng rng(5);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 2000; ++i) {
+    std::string k = "key-" + std::to_string(rng.Uniform(500));
+    if (rng.OneIn(4)) {
+      store.Delete(k).ok();
+      model.erase(k);
+    } else {
+      std::string v = rng.AlphaString(16);
+      store.Put(k, v).ok();
+      model[k] = v;
+    }
+  }
+  ASSERT_TRUE(store.Recover().ok());
+  EXPECT_EQ(store.entry_count(), model.size());
+  for (const auto& [k, v] : model) {
+    auto got = store.Get(k);
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(LocalStore, CompactionPreservesContentAndReclaimsLog) {
+  StoreOptions opts;
+  opts.compaction_min_records = 100;
+  opts.compaction_garbage_ratio = 0.5;
+  LocalStore store(opts);
+  // Overwrite the same small key set many times -> lots of garbage.
+  for (int round = 0; round < 50; ++round) {
+    for (int k = 0; k < 20; ++k) {
+      store.Put("k" + std::to_string(k), "round-" + std::to_string(round)).ok();
+    }
+  }
+  EXPECT_GT(store.stats().compactions, 0u);
+  EXPECT_EQ(store.entry_count(), 20u);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(*store.Get("k" + std::to_string(k)), "round-49");
+  }
+  // After compaction, recovery still works.
+  ASSERT_TRUE(store.Recover().ok());
+  EXPECT_EQ(store.entry_count(), 20u);
+}
+
+TEST(LocalStore, StatsTrackOperations) {
+  LocalStore store;
+  store.Put("a", "1").ok();
+  store.Get("a").ok();
+  store.Get("missing").ok();
+  store.Delete("a").ok();
+  EXPECT_EQ(store.stats().puts, 1u);
+  EXPECT_EQ(store.stats().gets, 2u);
+  EXPECT_EQ(store.stats().deletes, 1u);
+  EXPECT_EQ(store.stats().live_records, 0u);
+}
+
+class LocalStoreFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LocalStoreFuzz, MatchesStdMapModel) {
+  LocalStore store(StoreOptions{0.3, 256});
+  std::map<std::string, std::string> model;
+  Rng rng(GetParam());
+  for (int op = 0; op < 5000; ++op) {
+    std::string k = "k" + std::to_string(rng.Uniform(200));
+    switch (rng.Uniform(3)) {
+      case 0:
+      case 1: {
+        std::string v = rng.AlphaString(1 + rng.Uniform(40));
+        store.Put(k, v).ok();
+        model[k] = v;
+        break;
+      }
+      case 2:
+        store.Delete(k).ok();
+        model.erase(k);
+        break;
+    }
+  }
+  ASSERT_EQ(store.entry_count(), model.size());
+  auto it = store.Seek("");
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), k);
+    EXPECT_EQ(it.value(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalStoreFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace orchestra::localstore

@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "deploy/deployment.h"
+#include "storage/keys.h"
+#include "storage/page.h"
+#include "storage/publisher.h"
+#include "storage/schema.h"
+#include "storage/service.h"
+#include "storage/value.h"
+
+namespace orchestra::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Data model
+
+TEST(Value, TypedAccessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value(std::string("hi")).AsString(), "hi");
+  EXPECT_TRUE(Value::Null().is_null());
+}
+
+TEST(Value, CompareWithinTypes) {
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(int64_t{2})), 0);
+  EXPECT_EQ(Value(std::string("a")).Compare(Value(std::string("a"))), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(2.5)), 0);
+}
+
+TEST(Value, NumericCrossCompare) {
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(int64_t{2}).Compare(Value(2.5)), 0);
+}
+
+TEST(Value, EncodeDecodeRoundTrip) {
+  for (const Value& v :
+       {Value(int64_t{-12345}), Value(int64_t{0}), Value(1.75), Value(std::string("s")),
+        Value::Null(), Value(std::string(1000, 'x'))}) {
+    Writer w;
+    v.EncodeTo(&w);
+    Reader r(w.data());
+    Value back;
+    ASSERT_TRUE(Value::DecodeFrom(&r, &back).ok());
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(Value, OrderedEncodingPreservesIntOrder) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    int64_t a = static_cast<int64_t>(rng.NextU64());
+    int64_t b = static_cast<int64_t>(rng.NextU64());
+    std::string ea, eb;
+    Value(a).EncodeOrdered(&ea);
+    Value(b).EncodeOrdered(&eb);
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+  }
+}
+
+TEST(Value, OrderedEncodingPreservesDoubleOrder) {
+  std::vector<double> vals = {-1e300, -2.5, -0.0, 0.0, 1e-10, 1.0, 3.14, 1e300};
+  for (size_t i = 0; i + 1 < vals.size(); ++i) {
+    std::string ea, eb;
+    Value(vals[i]).EncodeOrdered(&ea);
+    Value(vals[i + 1]).EncodeOrdered(&eb);
+    EXPECT_LE(ea, eb) << vals[i] << " vs " << vals[i + 1];
+  }
+}
+
+TEST(Value, OrderedEncodingPreservesStringOrderWithNuls) {
+  std::vector<std::string> vals = {std::string("\0", 1), std::string("\0a", 2), "a",
+                                   std::string("a\0", 2), "ab", "b"};
+  for (size_t i = 0; i + 1 < vals.size(); ++i) {
+    std::string ea, eb;
+    Value(vals[i]).EncodeOrdered(&ea);
+    Value(vals[i + 1]).EncodeOrdered(&eb);
+    EXPECT_LT(ea, eb) << i;
+  }
+}
+
+TEST(Tuple, EncodeDecodeRoundTrip) {
+  Tuple t = {Value(int64_t{7}), Value(std::string("abc")), Value(0.5), Value::Null()};
+  Writer w;
+  EncodeTuple(t, &w);
+  Reader r(w.data());
+  Tuple back;
+  ASSERT_TRUE(DecodeTuple(&r, &back).ok());
+  EXPECT_EQ(back, t);
+}
+
+TEST(Schema, FindAndKeyEncoding) {
+  Schema s({{"x", ValueType::kString}, {"y", ValueType::kInt64}}, 1);
+  EXPECT_EQ(*s.Find("y"), 1u);
+  EXPECT_FALSE(s.Find("z").has_value());
+  Tuple t = {Value(std::string("k1")), Value(int64_t{9})};
+  std::string key = EncodeTupleKey(s, t);
+  Tuple t2 = {Value(std::string("k1")), Value(int64_t{100})};
+  EXPECT_EQ(key, EncodeTupleKey(s, t2));  // key ignores non-key attrs
+  Tuple t3 = {Value(std::string("k2")), Value(int64_t{9})};
+  EXPECT_NE(key, EncodeTupleKey(s, t3));
+}
+
+TEST(Page, PartitionGeometry) {
+  for (uint32_t parts : {1u, 4u, 16u, 64u}) {
+    for (uint32_t p = 0; p < parts; ++p) {
+      HashId begin = PartitionBegin(p, parts);
+      HashId home = PartitionHome(p, parts);
+      EXPECT_EQ(PartitionIndexFor(begin, parts), p);
+      EXPECT_EQ(PartitionIndexFor(home, parts), p);
+    }
+    // Random keys land in consistent partitions.
+    Rng rng(parts);
+    for (int i = 0; i < 50; ++i) {
+      HashId h = HashId::OfBytes("p" + std::to_string(rng.NextU64()));
+      uint32_t idx = PartitionIndexFor(h, parts);
+      EXPECT_TRUE(h.InRange(PartitionBegin(idx, parts), PartitionEnd(idx, parts)));
+    }
+  }
+}
+
+TEST(Page, EncodeDecodeRoundTrip) {
+  Page page;
+  page.desc.id = PageId{"R", 3, 2};
+  page.desc.num_partitions = 8;
+  page.ids = {{"k1", 1}, {"k2", 3}};
+  Writer w;
+  page.EncodeTo(&w);
+  Reader r(w.data());
+  Page back;
+  ASSERT_TRUE(Page::DecodeFrom(&r, &back).ok());
+  EXPECT_EQ(back.desc, page.desc);
+  EXPECT_EQ(back.ids, page.ids);
+}
+
+TEST(CoordinatorRecordTest, EncodeDecodeRoundTrip) {
+  CoordinatorRecord rec;
+  rec.relation = "R";
+  rec.epoch = 5;
+  rec.pages.push_back(PageDescriptor{PageId{"R", 4, 0}, 8});
+  rec.pages.push_back(PageDescriptor{PageId{"R", 5, 3}, 8});
+  Writer w;
+  rec.EncodeTo(&w);
+  Reader r(w.data());
+  CoordinatorRecord back;
+  ASSERT_TRUE(CoordinatorRecord::DecodeFrom(&r, &back).ok());
+  EXPECT_EQ(back.relation, "R");
+  EXPECT_EQ(back.epoch, 5u);
+  ASSERT_EQ(back.pages.size(), 2u);
+  EXPECT_EQ(back.pages[1], rec.pages[1]);
+}
+
+TEST(Keys, DataKeysOrderByHashThenKeyThenEpoch) {
+  HashId h1 = HashId::FromU64(100), h2 = HashId::FromU64(200);
+  std::string a = keys::Data("R", h1, "ka", 1);
+  std::string b = keys::Data("R", h1, "ka", 2);
+  std::string c = keys::Data("R", h1, "kb", 1);
+  std::string d = keys::Data("R", h2, "aa", 0);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  // Prefix discipline: different relations never interleave.
+  EXPECT_NE(keys::Data("R", h1, "k", 1).substr(0, 3),
+            keys::Data("RR", h1, "k", 1).substr(0, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Distributed storage (deployment-based)
+
+RelationDef SimpleRelation(const std::string& name, uint32_t partitions = 8) {
+  RelationDef def;
+  def.name = name;
+  def.schema = Schema({{"x", ValueType::kString}, {"y", ValueType::kString}}, 1);
+  def.num_partitions = partitions;
+  return def;
+}
+
+Tuple Row(const std::string& x, const std::string& y) {
+  return {Value(x), Value(y)};
+}
+
+std::multiset<std::string> AsBag(const std::vector<Tuple>& rows) {
+  std::multiset<std::string> bag;
+  for (const auto& t : rows) bag.insert(TupleToString(t));
+  return bag;
+}
+
+class StorageClusterTest : public ::testing::Test {
+ protected:
+  StorageClusterTest() {
+    deploy::DeploymentOptions opts;
+    opts.num_nodes = 4;
+    opts.replication = 3;
+    dep = std::make_unique<deploy::Deployment>(opts);
+  }
+  std::unique_ptr<deploy::Deployment> dep;
+};
+
+TEST_F(StorageClusterTest, CreatePublishRetrieve) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+  UpdateBatch batch;
+  batch["R"] = {Update::Insert(Row("a", "b")), Update::Insert(Row("f", "z"))};
+  auto epoch = dep->Publish(0, std::move(batch));
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 1u);
+
+  auto rows = dep->Retrieve(1, "R", *epoch);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(AsBag(*rows), (std::multiset<std::string>{"('a', 'b')", "('f', 'z')"}));
+}
+
+// The paper's Example 4.1: three epochs with inserts and one update; each
+// epoch's snapshot must be exactly reconstructible.
+TEST_F(StorageClusterTest, PaperExample41VersionedSnapshots) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+
+  UpdateBatch e0;
+  e0["R"] = {Update::Insert(Row("a", "b")), Update::Insert(Row("f", "z"))};
+  ASSERT_TRUE(dep->Publish(0, std::move(e0)).ok());
+
+  UpdateBatch e1;
+  e1["R"] = {Update::Insert(Row("b", "c")), Update::Insert(Row("e", "e")),
+             Update::Insert(Row("c", "f")), Update::Insert(Row("f", "a"))};
+  ASSERT_TRUE(dep->Publish(0, std::move(e1)).ok());
+
+  UpdateBatch e2;
+  e2["R"] = {Update::Insert(Row("d", "d"))};
+  ASSERT_TRUE(dep->Publish(0, std::move(e2)).ok());
+
+  auto at1 = dep->Retrieve(2, "R", 1);
+  ASSERT_TRUE(at1.ok());
+  EXPECT_EQ(AsBag(*at1), (std::multiset<std::string>{"('a', 'b')", "('f', 'z')"}));
+
+  auto at2 = dep->Retrieve(2, "R", 2);
+  ASSERT_TRUE(at2.ok());
+  EXPECT_EQ(AsBag(*at2),
+            (std::multiset<std::string>{"('a', 'b')", "('b', 'c')", "('c', 'f')",
+                                        "('e', 'e')", "('f', 'a')"}));
+
+  auto at3 = dep->Retrieve(2, "R", 3);
+  ASSERT_TRUE(at3.ok());
+  EXPECT_EQ(AsBag(*at3),
+            (std::multiset<std::string>{"('a', 'b')", "('b', 'c')", "('c', 'f')",
+                                        "('d', 'd')", "('e', 'e')", "('f', 'a')"}));
+
+  // "It would never simply return the data for <f,0>; it knows that data is
+  // stale because it does not appear in the index page."
+  for (const auto& t : *at2) {
+    if (t[0] == Value(std::string("f"))) EXPECT_EQ(t[1], Value(std::string("a")));
+  }
+}
+
+TEST_F(StorageClusterTest, DeleteRemovesFromLaterEpochsOnly) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+  UpdateBatch e0;
+  e0["R"] = {Update::Insert(Row("a", "1")), Update::Insert(Row("b", "2"))};
+  ASSERT_TRUE(dep->Publish(0, std::move(e0)).ok());
+  UpdateBatch e1;
+  e1["R"] = {Update::Delete(Row("a", ""))};
+  ASSERT_TRUE(dep->Publish(0, std::move(e1)).ok());
+
+  auto old_rows = dep->Retrieve(3, "R", 1);
+  ASSERT_TRUE(old_rows.ok());
+  EXPECT_EQ(old_rows->size(), 2u);
+  auto new_rows = dep->Retrieve(3, "R", 2);
+  ASSERT_TRUE(new_rows.ok());
+  ASSERT_EQ(new_rows->size(), 1u);
+  EXPECT_EQ((*new_rows)[0][0], Value(std::string("b")));
+}
+
+TEST_F(StorageClusterTest, KeyFilterPushdown) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+  UpdateBatch batch;
+  for (char c = 'a'; c <= 'j'; ++c) {
+    batch["R"].push_back(Update::Insert(Row(std::string(1, c), "v")));
+  }
+  ASSERT_TRUE(dep->Publish(0, std::move(batch)).ok());
+
+  Schema s = SimpleRelation("R").schema;
+  KeyFilter filter;
+  filter.all = false;
+  filter.lo = EncodeTupleKey(s, Row("c", ""));
+  filter.hi = EncodeTupleKey(s, Row("e", ""));
+  auto rows = dep->Retrieve(2, "R", 1, filter);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(AsBag(*rows),
+            (std::multiset<std::string>{"('c', 'v')", "('d', 'v')", "('e', 'v')"}));
+}
+
+TEST_F(StorageClusterTest, LargeBatchRoundTrips) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R", 16)).ok());
+  Rng rng(77);
+  UpdateBatch batch;
+  std::multiset<std::string> expect;
+  for (int i = 0; i < 500; ++i) {
+    Tuple t = Row("key-" + std::to_string(i), rng.AlphaString(20));
+    expect.insert(TupleToString(t));
+    batch["R"].push_back(Update::Insert(std::move(t)));
+  }
+  ASSERT_TRUE(dep->Publish(0, std::move(batch)).ok());
+  auto rows = dep->Retrieve(1, "R", 1);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(AsBag(*rows), expect);
+}
+
+TEST_F(StorageClusterTest, SurvivesSingleNodeFailure) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+  UpdateBatch batch;
+  for (int i = 0; i < 100; ++i) {
+    batch["R"].push_back(Update::Insert(Row("k" + std::to_string(i), "v")));
+  }
+  ASSERT_TRUE(dep->Publish(0, std::move(batch)).ok());
+
+  // Kill a node; with r=3 every range still has live replicas, and retrieval
+  // retries them transparently (§III-C).
+  dep->KillNode(2);
+  auto rows = dep->Retrieve(0, "R", 1);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 100u);
+}
+
+TEST_F(StorageClusterTest, MultipleRelationsSnapshotTogether) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("S")).ok());
+  UpdateBatch b1;
+  b1["R"] = {Update::Insert(Row("r1", "x"))};
+  ASSERT_TRUE(dep->Publish(0, std::move(b1)).ok());
+  UpdateBatch b2;
+  b2["S"] = {Update::Insert(Row("s1", "y"))};
+  ASSERT_TRUE(dep->Publish(0, std::move(b2)).ok());
+
+  // R was untouched by epoch 2 but must still be resolvable there
+  // (copy-forward of coordinator records).
+  auto r_at_2 = dep->Retrieve(2, "R", 2);
+  ASSERT_TRUE(r_at_2.ok());
+  EXPECT_EQ(r_at_2->size(), 1u);
+  auto s_at_2 = dep->Retrieve(3, "S", 2);
+  ASSERT_TRUE(s_at_2.ok());
+  EXPECT_EQ(s_at_2->size(), 1u);
+  // S did not exist as data at epoch 1.
+  auto s_at_1 = dep->Retrieve(3, "S", 1);
+  ASSERT_TRUE(s_at_1.ok());
+  EXPECT_TRUE(s_at_1->empty());
+}
+
+TEST_F(StorageClusterTest, ReplicateEverywhereRelation) {
+  RelationDef def = SimpleRelation("Nation", 2);
+  def.replicate_everywhere = true;
+  ASSERT_TRUE(dep->CreateRelation(0, def).ok());
+  UpdateBatch batch;
+  for (int i = 0; i < 25; ++i) {
+    batch["Nation"].push_back(Update::Insert(Row("n" + std::to_string(i), "meta")));
+  }
+  ASSERT_TRUE(dep->Publish(0, std::move(batch)).ok());
+  // Every node holds every tuple.
+  for (size_t n = 0; n < dep->size(); ++n) {
+    size_t local = 0;
+    auto& store = dep->storage(n).store();
+    std::string prefix = keys::DataPrefix("Nation");
+    for (auto it = store.SeekPrefix(prefix);
+         localstore::LocalStore::WithinPrefix(it, prefix); it.Next()) {
+      ++local;
+    }
+    EXPECT_EQ(local, 25u) << "node " << n;
+  }
+}
+
+TEST_F(StorageClusterTest, NewNodeReceivesReplicasViaRebalance) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+  UpdateBatch batch;
+  for (int i = 0; i < 200; ++i) {
+    batch["R"].push_back(Update::Insert(Row("k" + std::to_string(i), "v")));
+  }
+  ASSERT_TRUE(dep->Publish(0, std::move(batch)).ok());
+
+  net::NodeId fresh = dep->AddNode();
+  dep->RunFor(10 * sim::kMicrosPerSec);  // let kReplicaPush batches land
+
+  // The new node owns some ranges; it must now hold data for them.
+  EXPECT_GT(dep->storage(fresh).store().entry_count(), 0u);
+  // And retrieval through the new node sees a complete snapshot.
+  auto rows = dep->Retrieve(fresh, "R", 1);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 200u);
+}
+
+TEST_F(StorageClusterTest, RetrieveAtUnknownEpochFails) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+  auto rows = dep->Retrieve(0, "R", 99);
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST_F(StorageClusterTest, UpdatesReplaceWithinEpochBatch) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+  UpdateBatch batch;
+  batch["R"] = {Update::Insert(Row("k", "first")), Update::Insert(Row("k", "second"))};
+  ASSERT_TRUE(dep->Publish(0, std::move(batch)).ok());
+  auto rows = dep->Retrieve(0, "R", 1);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][1], Value(std::string("second")));
+}
+
+}  // namespace
+}  // namespace orchestra::storage
