@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build + full test suite, then the sanitizer suite with leak
+# detection on the layers that own async RPC state.
+#
+#   ci/check.sh            # both stages
+#   ci/check.sh tier1      # just the tier-1 verify command
+#   ci/check.sh sanitize   # just the ASan/UBSan/LSan stage
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+tier1() {
+  echo "== tier-1: configure + build + ctest"
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  (cd build && ctest --output-on-failure -j "$jobs")
+}
+
+sanitize() {
+  echo "== sanitizer: address,undefined with leak detection"
+  cmake -B build-asan -S . -DORC_SANITIZE=address,undefined \
+        -DORC_BUILD_BENCH=OFF -DORC_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j "$jobs" \
+        --target storage_test query_test integration_test rpc_lifecycle_test
+  for t in storage_test query_test integration_test rpc_lifecycle_test; do
+    echo "-- $t"
+    ASAN_OPTIONS=detect_leaks=1 "./build-asan/$t"
+  done
+}
+
+case "$stage" in
+  tier1) tier1 ;;
+  sanitize) sanitize ;;
+  all) tier1; sanitize ;;
+  *) echo "usage: ci/check.sh [tier1|sanitize|all]" >&2; exit 2 ;;
+esac
+echo "== all checks passed"

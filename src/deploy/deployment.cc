@@ -1,6 +1,7 @@
 #include "deploy/deployment.h"
 
 #include <algorithm>
+#include <variant>
 
 #include "common/log.h"
 
@@ -43,6 +44,17 @@ void Deployment::KillNode(net::NodeId node, bool update_routing) {
     ring_.Leave(node);
     board_->current = ring_.TakeSnapshot();
   }
+  // The dead node's own outstanding calls and queries can never complete
+  // (its NIC is gone, replies hit a dead handler); every service on it
+  // releases that state now — without invoking callbacks, since nothing may
+  // execute on a halted node — instead of holding it until teardown.
+  hosts_[node]->FailSelf();
+}
+
+size_t Deployment::PendingRpcCount() const {
+  size_t total = 0;
+  for (const auto& svc : storage_) total += svc->pending_rpc_count();
+  return total;
 }
 
 net::NodeId Deployment::AddNode() {
@@ -94,74 +106,75 @@ bool Deployment::RunUntil(const std::function<bool()>& pred, sim::SimTime max_wa
 
 void Deployment::RunFor(sim::SimTime duration) { sim_.RunUntil(sim_.now() + duration); }
 
-Status Deployment::CreateRelation(size_t via_node, const storage::RelationDef& def) {
-  bool done = false;
-  Status result;
-  publisher(via_node).CreateRelation(def, [&](Status st) {
-    result = st;
-    done = true;
+namespace {
+
+// Shared-state synchronous wait for the conveniences below: they hand a
+// completion lambda to the service layer and step the simulator until it
+// fires. The lambda may outlive the wait — if RunUntil gives up, the RPC
+// lifecycle layer still holds it until the call's deadline resolves it — so
+// it captures this block, never the caller's stack: a late completion lands
+// in the shared block and is dropped, instead of scribbling over a dead
+// frame. `start` receives the (Status, T) completion to pass on.
+template <typename T, typename Start>
+Result<T> Await(Deployment& dep, const char* what, sim::SimTime max_wait,
+                Start&& start) {
+  struct Wait {
+    bool done = false;
+    Status result;
+    T value{};
+  };
+  auto w = std::make_shared<Wait>();
+  start([w](Status st, T v) {
+    w->result = st;
+    w->value = std::move(v);
+    w->done = true;
   });
-  if (!RunUntil([&] { return done; })) {
-    return Status::TimedOut("CreateRelation did not complete");
+  if (!dep.RunUntil([w] { return w->done; }, max_wait)) {
+    return Status::TimedOut(std::string(what) + " did not complete");
   }
-  return result;
+  if (!w->result.ok()) return w->result;
+  return std::move(w->value);
+}
+
+constexpr sim::SimTime kDefaultWaitUs = Deployment::kDefaultWaitUs;
+
+}  // namespace
+
+Status Deployment::CreateRelation(size_t via_node, const storage::RelationDef& def) {
+  auto r = Await<std::monostate>(
+      *this, "CreateRelation", kDefaultWaitUs, [&](auto done) {
+        publisher(via_node).CreateRelation(
+            def, [done](Status st) { done(st, std::monostate{}); });
+      });
+  return r.status();
 }
 
 Result<storage::Epoch> Deployment::Publish(size_t via_node,
                                            storage::UpdateBatch batch) {
-  bool done = false;
-  Status result;
-  storage::Epoch epoch = 0;
-  publisher(via_node).PublishBatch(std::move(batch), [&](Status st, storage::Epoch e) {
-    result = st;
-    epoch = e;
-    done = true;
-  });
-  if (!RunUntil([&] { return done; })) {
-    return Status::TimedOut("Publish did not complete");
-  }
-  if (!result.ok()) return result;
-  return epoch;
+  return Await<storage::Epoch>(
+      *this, "Publish", kDefaultWaitUs, [&](auto done) {
+        publisher(via_node).PublishBatch(std::move(batch), std::move(done));
+      });
 }
 
 Result<std::vector<storage::Tuple>> Deployment::Retrieve(size_t via_node,
                                                          const std::string& relation,
                                                          storage::Epoch epoch,
                                                          storage::KeyFilter filter) {
-  bool done = false;
-  Status result;
-  std::vector<storage::Tuple> rows;
-  storage(via_node).Retrieve(relation, epoch, filter,
-                             [&](Status st, std::vector<storage::Tuple> r) {
-                               result = st;
-                               rows = std::move(r);
-                               done = true;
-                             });
-  if (!RunUntil([&] { return done; })) {
-    return Status::TimedOut("Retrieve did not complete");
-  }
-  if (!result.ok()) return result;
-  return rows;
+  return Await<std::vector<storage::Tuple>>(
+      *this, "Retrieve", kDefaultWaitUs, [&](auto done) {
+        storage(via_node).Retrieve(relation, epoch, filter, std::move(done));
+      });
 }
 
 Result<query::QueryResult> Deployment::ExecuteQuery(size_t via_node,
                                                     const query::PhysicalPlan& plan,
                                                     storage::Epoch epoch,
                                                     query::QueryOptions options) {
-  bool done = false;
-  Status result;
-  query::QueryResult out;
-  query(via_node).Execute(plan, epoch, options,
-                          [&](Status st, query::QueryResult r) {
-                            result = st;
-                            out = std::move(r);
-                            done = true;
-                          });
-  if (!RunUntil([&] { return done; }, 600 * sim::kMicrosPerSec)) {
-    return Status::TimedOut("query did not complete");
-  }
-  if (!result.ok()) return result;
-  return out;
+  return Await<query::QueryResult>(
+      *this, "query", 600 * sim::kMicrosPerSec, [&](auto done) {
+        query(via_node).Execute(plan, epoch, options, std::move(done));
+      });
 }
 
 }  // namespace orchestra::deploy

@@ -64,10 +64,17 @@ class Deployment {
   /// waiting for gossip convergence in tests/harnesses).
   storage::Epoch MaxKnownEpoch() const;
 
+  /// Sum of all storage services' pending-call tables (leak regression hook:
+  /// zero once every synchronous convenience above has returned).
+  size_t PendingRpcCount() const;
+
+  /// Default wait budget for RunUntil and the synchronous conveniences.
+  static constexpr sim::SimTime kDefaultWaitUs = 120 * sim::kMicrosPerSec;
+
   /// Steps the simulator until `pred()` or `max_wait` simulated time passes.
   /// Returns true if the predicate fired.
   bool RunUntil(const std::function<bool()>& pred,
-                sim::SimTime max_wait = 120 * sim::kMicrosPerSec);
+                sim::SimTime max_wait = kDefaultWaitUs);
   /// Runs for a fixed amount of simulated time.
   void RunFor(sim::SimTime duration);
 

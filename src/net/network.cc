@@ -78,6 +78,7 @@ void Network::Send(NodeId from, NodeId to, uint32_t type, std::string payload) {
   sim::SimTime rx_start = std::max(arrival, receiver.downlink_free);
   sim::SimTime rx_done = rx_start + static_cast<sim::SimTime>(tx_us);
   receiver.downlink_free = rx_done;
+  receiver.last_arrival_from[from] = rx_done;
 
   EnqueueDelivery(to, std::move(d), rx_done);
 }
@@ -136,13 +137,22 @@ void Network::KillNode(NodeId node) {
   state.alive = false;
   state.inbox.clear();
   // TCP reset propagates to every peer holding a connection; with complete
-  // routing tables (§III-B) that is every other node.
+  // routing tables (§III-B) that is every other node. In-order delivery is
+  // per-connection: the reset cannot overtake data the dead node already
+  // sent to that peer (so a handler never sees a message from a peer it has
+  // observed as dropped), but it is NOT delayed by unrelated traffic the
+  // peer is ingesting from other nodes.
   for (NodeId peer = 0; peer < nodes_.size(); ++peer) {
     if (peer == node || !nodes_[peer].alive) continue;
     Delivery d;
     d.from = node;
     d.is_drop_notice = true;
-    EnqueueDelivery(peer, std::move(d), sim_->now() + GetLinkParams(node, peer).latency_us);
+    sim::SimTime at = sim_->now() + GetLinkParams(node, peer).latency_us;
+    auto last = nodes_[peer].last_arrival_from.find(node);
+    if (last != nodes_[peer].last_arrival_from.end()) {
+      at = std::max(at, last->second);
+    }
+    EnqueueDelivery(peer, std::move(d), at);
   }
 }
 

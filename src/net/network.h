@@ -132,6 +132,9 @@ class Network {
     sim::SimTime cpu_free = 0;      // node's thread is busy until this time
     sim::SimTime uplink_free = 0;   // outgoing NIC busy until
     sim::SimTime downlink_free = 0; // incoming NIC busy until
+    // Arrival time of the latest in-flight message per sender; a drop notice
+    // for a dead sender must not overtake these (per-connection TCP order).
+    std::map<NodeId, sim::SimTime> last_arrival_from;
     NodeTraffic traffic;
   };
 

@@ -26,6 +26,10 @@ class Service {
   virtual ~Service() = default;
   virtual void OnMessage(NodeId from, uint16_t code, const std::string& payload) = 0;
   virtual void OnConnectionDrop(NodeId peer) {}
+  /// This node itself was marked failed (fail-stop). Release per-call and
+  /// per-query state WITHOUT invoking completion callbacks: the node is
+  /// halted, so nothing may execute on it anymore.
+  virtual void OnSelfFailed() {}
 };
 
 /// Owns the per-node dispatch table; installed as the node's MessageHandler.
@@ -53,6 +57,11 @@ class NodeHost : public MessageHandler {
 
   void OnConnectionDrop(NodeId peer) override {
     for (auto& [id, service] : services_) service->OnConnectionDrop(peer);
+  }
+
+  /// Propagates fail-stop death of this node to every service on it.
+  void FailSelf() {
+    for (auto& [id, service] : services_) service->OnSelfFailed();
   }
 
   NodeId node() const { return node_; }

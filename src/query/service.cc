@@ -8,6 +8,11 @@ namespace orchestra::query {
 
 namespace {
 constexpr size_t kMaxPendingPerQuery = 4096;
+constexpr size_t kMaxAbortedTracked = 1024;
+
+// Query ids are (initiator << kQueryInitiatorShift) | sequence, so the
+// initiator of any query is recoverable from the id alone.
+constexpr int kQueryInitiatorShift = 40;
 
 DynamicBitset SingletonTaint(size_t bits, net::NodeId node) {
   DynamicBitset b(bits);
@@ -36,7 +41,8 @@ void QueryService::Execute(const PhysicalPlan& plan, storage::Epoch epoch,
   if (epoch == 0) epoch = gossip_->epoch();
 
   auto root = std::make_unique<Root>();
-  root->query_id = (static_cast<uint64_t>(node()) << 40) | next_query_seq_++;
+  root->query_id =
+      (static_cast<uint64_t>(node()) << kQueryInitiatorShift) | next_query_seq_++;
   root->plan = plan;
   root->epoch = epoch;
   root->options = options;
@@ -176,7 +182,7 @@ void QueryService::FinishRoot(Root& root, Status st) {
 
   Callback cb = std::move(root.cb);
   roots_.erase(qid);
-  aborted_.insert(qid);
+  MarkAborted(qid);
   cb(st, std::move(result));
 }
 
@@ -202,10 +208,11 @@ void QueryService::HandleSuspect(Root& root, net::NodeId suspect) {
       root.table = root.table.ReassignFailed({suspect}, storage_->replication(),
                                              root.table.version() + 1);
       for (net::NodeId m : LiveMembers(root)) SendTo(m, kAbort, w.data());
-      aborted_.insert(root.query_id);
+      MarkAborted(root.query_id);
 
       uint64_t old_id = root.query_id;
-      uint64_t new_id = (static_cast<uint64_t>(node()) << 40) | next_query_seq_++;
+      uint64_t new_id =
+          (static_cast<uint64_t>(node()) << kQueryInitiatorShift) | next_query_seq_++;
       auto node_handle = roots_.extract(old_id);
       node_handle.key() = new_id;
       roots_.insert(std::move(node_handle));
@@ -214,6 +221,9 @@ void QueryService::HandleSuspect(Root& root, net::NodeId suspect) {
       fresh.phase = 0;
       fresh.results.clear();
       fresh.ship_eos_phase.clear();
+      // The old ping timer dies with the old query id; let DisseminatePlan
+      // arm a fresh one for the new id.
+      fresh.ping_timer_armed = false;
       DisseminatePlan(fresh);
       return;
     }
@@ -266,10 +276,12 @@ void QueryService::PingTick(uint64_t query_id) {
     if (again == nullptr) return;
     HandleSuspect(*again, s);
   }
-  if (FindRoot(query_id) != nullptr) {
+  // HandleSuspect may have finished (or restarted) the query; `root` is only
+  // valid if the id still resolves.
+  if (Root* live = FindRoot(query_id)) {
     host_->network()->RunOnNode(
         node(),
-        host_->network()->simulator()->now() + root->options.ping_interval_us,
+        host_->network()->simulator()->now() + live->options.ping_interval_us,
         [this, query_id] { PingTick(query_id); });
   }
 }
@@ -340,6 +352,29 @@ void QueryService::OnMessage(net::NodeId from, uint16_t code,
 }
 
 void QueryService::OnConnectionDrop(net::NodeId peer) {
+  dropped_peers_.insert(peer);
+  // Buffered pre-plan messages that can never be replayed are released now
+  // instead of being held for the deployment's lifetime: everything buffered
+  // for a query whose initiator died (its kPlan will never arrive), and
+  // everything the failed peer itself sent.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if ((it->first >> kQueryInitiatorShift) == peer) {
+      // Mark it aborted too: peers that have not yet observed the drop keep
+      // shipping blocks for this query, and they must not be re-buffered.
+      MarkAborted(it->first);
+      it = pending_.erase(it);
+      continue;
+    }
+    auto& msgs = it->second;
+    msgs.erase(std::remove_if(msgs.begin(), msgs.end(),
+                              [peer](const auto& m) { return std::get<0>(m) == peer; }),
+               msgs.end());
+    if (msgs.empty()) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   // Initiator: direct detection via the dropped TCP connection (§V-A).
   std::vector<uint64_t> root_ids;
   for (auto& [qid, root] : roots_) root_ids.push_back(qid);
@@ -355,7 +390,7 @@ void QueryService::OnConnectionDrop(net::NodeId peer) {
     if (ex == nullptr) continue;
     if (ex->initiator == peer) {
       execs_.erase(qid);
-      aborted_.insert(qid);
+      MarkAborted(qid);
       continue;
     }
     if (ex->initiator == node()) continue;  // the Root path handles it
@@ -381,6 +416,11 @@ QueryService::Root* QueryService::FindRoot(uint64_t query_id) {
 void QueryService::BufferPending(uint64_t query_id, net::NodeId from, uint16_t code,
                                  const std::string& payload) {
   if (aborted_.count(query_id)) return;
+  // A query whose initiator's connection has dropped can never deliver its
+  // plan here; messages for it (e.g. shuffle blocks from a worker that has
+  // not yet observed the drop) would otherwise be buffered forever.
+  auto initiator = static_cast<net::NodeId>(query_id >> kQueryInitiatorShift);
+  if (dropped_peers_.count(initiator)) return;
   auto& vec = pending_[query_id];
   if (vec.size() < kMaxPendingPerQuery) vec.emplace_back(from, code, payload);
 }
@@ -1101,8 +1141,18 @@ void QueryService::HandleAbort(Reader* r) {
   if (!r->GetU64(&qid).ok()) return;
   execs_.erase(qid);
   pending_.erase(qid);
-  aborted_.insert(qid);
-  if (aborted_.size() > 1024) aborted_.erase(aborted_.begin());
+  MarkAborted(qid);
+}
+
+void QueryService::MarkAborted(uint64_t query_id) {
+  // FIFO eviction: the set orders by id (initiator in the high bits), so
+  // erasing *aborted_.begin() would evict by initiator number — possibly the
+  // id just inserted — rather than the oldest record.
+  if (aborted_.insert(query_id).second) aborted_order_.push_back(query_id);
+  while (aborted_.size() > kMaxAbortedTracked) {
+    aborted_.erase(aborted_order_.front());
+    aborted_order_.pop_front();
+  }
 }
 
 std::string QueryService::DebugString() const {

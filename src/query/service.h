@@ -74,6 +74,14 @@ class QueryService : public net::Service {
 
   void OnMessage(net::NodeId from, uint16_t code, const std::string& payload) override;
   void OnConnectionDrop(net::NodeId peer) override;
+  /// Fail-stop death of this node: release every root (initiator state,
+  /// including the user's completion callback), exec, and buffered message
+  /// without invoking anything — the node is halted.
+  void OnSelfFailed() override {
+    roots_.clear();
+    execs_.clear();
+    pending_.clear();
+  }
 
   net::NodeId node() const { return host_->node(); }
 
@@ -90,6 +98,18 @@ class QueryService : public net::Service {
 
   /// Human-readable dump of per-query execution state (stall diagnosis).
   std::string DebugString() const;
+
+  // --- Leak regression hooks -------------------------------------------------
+  /// Initiator-side queries still holding a completion callback.
+  size_t active_root_count() const { return roots_.size(); }
+  /// Worker-side executions still instantiated.
+  size_t active_exec_count() const { return execs_.size(); }
+  /// Messages buffered ahead of their plan across all queries.
+  size_t buffered_message_count() const {
+    size_t n = 0;
+    for (const auto& [qid, msgs] : pending_) n += msgs.size();
+    return n;
+  }
 
  private:
   enum QueryCode : uint16_t {
@@ -230,6 +250,9 @@ class QueryService : public net::Service {
   Root* FindRoot(uint64_t query_id);
   void BufferPending(uint64_t query_id, net::NodeId from, uint16_t code,
                      const std::string& payload);
+  /// Records a finished/aborted query id (so late messages are not
+  /// re-buffered), evicting the oldest ids beyond a fixed cap.
+  void MarkAborted(uint64_t query_id);
 
   net::NodeHost* host_;
   storage::StorageService* storage_;
@@ -240,7 +263,11 @@ class QueryService : public net::Service {
   // Blocks that raced ahead of their plan message (FIFO is per-connection).
   std::map<uint64_t, std::vector<std::tuple<net::NodeId, uint16_t, std::string>>>
       pending_;
-  std::set<uint64_t> aborted_;  // recently finished/aborted queries
+  std::set<uint64_t> aborted_;          // recently finished/aborted queries
+  std::deque<uint64_t> aborted_order_;  // insertion order, for capped eviction
+  // Peers whose connection dropped (fail-stop, ids are never reused): their
+  // queries can make no progress, so messages for them are never buffered.
+  std::set<net::NodeId> dropped_peers_;
   uint64_t next_query_seq_ = 1;
   Counters counters_;
 };

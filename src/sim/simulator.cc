@@ -7,24 +7,25 @@ namespace orchestra::sim {
 Simulator::EventId Simulator::Schedule(SimTime at, Callback cb) {
   if (at < now_) at = now_;
   EventId id = next_id_++;
-  heap_.push(Event{at, id, std::move(cb)});
+  heap_.push(Event{at, id});
+  callbacks_.emplace(id, std::move(cb));
   return id;
 }
 
-void Simulator::Cancel(EventId id) { cancelled_.insert(id); }
+void Simulator::Cancel(EventId id) { callbacks_.erase(id); }
 
 bool Simulator::Step() {
   while (!heap_.empty()) {
     Event ev = heap_.top();
     heap_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
     ORC_CHECK(ev.at >= now_, "event in the past");
     now_ = ev.at;
     ++fired_;
-    ev.cb();
+    cb();
     return true;
   }
   return false;
@@ -38,9 +39,8 @@ void Simulator::Run() {
 void Simulator::RunUntil(SimTime t) {
   while (!heap_.empty()) {
     const Event& top = heap_.top();
-    if (cancelled_.count(top.id)) {
-      cancelled_.erase(top.id);
-      heap_.pop();
+    if (callbacks_.find(top.id) == callbacks_.end()) {
+      heap_.pop();  // cancelled
       continue;
     }
     if (top.at > t) break;

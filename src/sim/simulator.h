@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 namespace orchestra::sim {
@@ -34,7 +34,9 @@ class Simulator {
   EventId Schedule(SimTime at, Callback cb);
   /// Schedules `cb` `delay` microseconds from now.
   EventId ScheduleAfter(SimTime delay, Callback cb) { return Schedule(now_ + delay, std::move(cb)); }
-  /// Cancels a pending event; no-op if already fired or cancelled.
+  /// Cancels a pending event; no-op if already fired or cancelled. The
+  /// callback (and everything it captured) is released immediately — a
+  /// cancelled far-future deadline must not pin memory until its timestamp.
   void Cancel(EventId id);
 
   /// Runs the next event. Returns false when the queue is empty.
@@ -45,14 +47,16 @@ class Simulator {
   void RunUntil(SimTime t);
 
   SimTime now() const { return now_; }
-  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  size_t pending_events() const { return callbacks_.size(); }
   uint64_t events_fired() const { return fired_; }
 
  private:
+  // The heap orders (at, id) pairs; callbacks live in a side table so that
+  // Cancel() can release a closure the moment it is cancelled. Heap entries
+  // whose id is no longer in the table are skipped on pop.
   struct Event {
     SimTime at;
     EventId id;
-    Callback cb;
     bool operator>(const Event& o) const {
       if (at != o.at) return at > o.at;
       return id > o.id;
@@ -60,7 +64,7 @@ class Simulator {
   };
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, Callback> callbacks_;
   SimTime now_ = 0;
   EventId next_id_ = 1;
   uint64_t fired_ = 0;

@@ -26,7 +26,10 @@ Status KeyFilter::DecodeFrom(Reader* r, KeyFilter* out) {
 
 StorageService::StorageService(net::NodeHost* host,
                                std::shared_ptr<SnapshotBoard> board, int replication)
-    : host_(host), board_(std::move(board)), replication_(replication) {
+    : host_(host),
+      board_(std::move(board)),
+      replication_(replication),
+      rpc_(host, net::ServiceId::kStorage, kReply) {
   host_->Register(net::ServiceId::kStorage, this);
 }
 
@@ -147,47 +150,13 @@ Status StorageService::ScanPageLocal(
 
 void StorageService::Call(net::NodeId to, uint16_t code, std::string body,
                           RpcCallback cb, sim::SimTime timeout_us) {
-  uint64_t req_id = next_req_id_++;
-  Writer w(body.size() + 12);
-  w.PutU64(req_id);
-  w.PutRaw(body.data(), body.size());
-
-  PendingCall pc;
-  pc.to = to;
-  pc.cb = std::move(cb);
-  pc.timeout_event = host_->network()->simulator()->ScheduleAfter(
-      timeout_us, [this, req_id]() {
-        auto it = pending_.find(req_id);
-        if (it == pending_.end()) return;
-        RpcCallback cb = std::move(it->second.cb);
-        pending_.erase(it);
-        cb(Status::TimedOut("storage rpc timeout"), {});
-      });
-  pending_.emplace(req_id, std::move(pc));
-  host_->SendTo(to, net::ServiceId::kStorage, code, w.Release());
+  rpc_.Call(to, code, std::move(body), std::move(cb), timeout_us);
 }
 
 void StorageService::CallAll(const std::vector<net::NodeId>& targets, uint16_t code,
                              const std::string& body,
                              std::function<void(Status)> cb) {
-  if (targets.empty()) {
-    cb(Status::OK());
-    return;
-  }
-  struct FanOut {
-    size_t remaining;
-    Status first_error = Status::OK();
-    std::function<void(Status)> cb;
-  };
-  auto state = std::make_shared<FanOut>();
-  state->remaining = targets.size();
-  state->cb = std::move(cb);
-  for (net::NodeId t : targets) {
-    Call(t, code, body, [state](Status st, const std::string&) {
-      if (!st.ok() && state->first_error.ok()) state->first_error = st;
-      if (--state->remaining == 0) state->cb(state->first_error);
-    });
-  }
+  rpc_.CallAll(targets, code, body, std::move(cb));
 }
 
 void StorageService::SendOneWay(net::NodeId to, uint16_t code, std::string body) {
@@ -196,27 +165,14 @@ void StorageService::SendOneWay(net::NodeId to, uint16_t code, std::string body)
 
 void StorageService::Respond(net::NodeId to, uint64_t req_id, Status st,
                              std::string body) {
-  Writer w(body.size() + 16);
-  w.PutU64(req_id);
-  w.PutU8(static_cast<uint8_t>(st.code()));
-  w.PutString(st.message());
-  w.PutRaw(body.data(), body.size());
-  host_->SendTo(to, net::ServiceId::kStorage, kReply, w.Release());
+  net::RpcClient::SendReply(host_, to, net::ServiceId::kStorage, kReply, req_id,
+                            st, std::move(body));
 }
 
 void StorageService::OnConnectionDrop(net::NodeId peer) {
-  std::vector<uint64_t> dead;
-  for (const auto& [id, pc] : pending_) {
-    if (pc.to == peer) dead.push_back(id);
-  }
-  for (uint64_t id : dead) {
-    auto it = pending_.find(id);
-    if (it == pending_.end()) continue;
-    RpcCallback cb = std::move(it->second.cb);
-    host_->network()->simulator()->Cancel(it->second.timeout_event);
-    pending_.erase(it);
-    cb(Status::Unavailable("peer failed"), {});
-  }
+  // Orphan reaping: every call addressed to the failed peer resolves now
+  // with Unavailable instead of waiting out its deadline.
+  rpc_.FailPeer(peer);
 }
 
 // --------------------------------------------------------------------------
@@ -226,28 +182,7 @@ void StorageService::OnMessage(net::NodeId from, uint16_t code,
                                const std::string& payload) {
   Reader r(payload);
   if (code == kReply) {
-    uint64_t req_id;
-    uint8_t st_code;
-    std::string st_msg;
-    if (!r.GetU64(&req_id).ok() || !r.GetU8(&st_code).ok() || !r.GetString(&st_msg).ok()) {
-      return;
-    }
-    auto it = pending_.find(req_id);
-    if (it == pending_.end()) return;  // raced with timeout
-    RpcCallback cb = std::move(it->second.cb);
-    host_->network()->simulator()->Cancel(it->second.timeout_event);
-    pending_.erase(it);
-    Status st = Status::OK();
-    if (st_code != 0) {
-      switch (static_cast<Status::Code>(st_code)) {
-        case Status::Code::kNotFound: st = Status::NotFound(st_msg); break;
-        case Status::Code::kUnavailable: st = Status::Unavailable(st_msg); break;
-        case Status::Code::kCorruption: st = Status::Corruption(st_msg); break;
-        default: st = Status::IOError(st_msg); break;
-      }
-    }
-    std::string body(payload.substr(r.position()));
-    cb(st, body);
+    rpc_.HandleReply(payload);
     return;
   }
   if (code == kFetchTuples) {
@@ -542,31 +477,22 @@ void StorageService::GetCoordinator(
   Writer w;
   w.PutString(rel);
   w.PutVarint64(epoch);
-  std::string body = w.Release();
 
-  auto try_replica = std::make_shared<std::function<void(size_t)>>();
-  *try_replica = [this, replicas, body, cb = std::move(cb), try_replica](size_t i) {
-    if (i >= replicas.size()) {
-      cb(Status::Unavailable("no replica has coordinator record"), {});
-      return;
-    }
-    Call(replicas[i], kGetCoordinator, body,
-         [i, cb, try_replica](Status st, const std::string& reply) {
-           if (st.ok()) {
-             Reader r(reply);
-             CoordinatorRecord rec;
-             Status ds = CoordinatorRecord::DecodeFrom(&r, &rec);
-             if (ds.ok()) {
-               cb(Status::OK(), std::move(rec));
-             } else {
-               cb(ds, {});
-             }
-             return;
-           }
-           (*try_replica)(i + 1);
-         });
-  };
-  (*try_replica)(0);
+  rpc_.CallFirst(std::move(replicas), kGetCoordinator, w.Release(),
+                 [cb = std::move(cb)](Status st, const std::string& reply) {
+                   if (!st.ok()) {
+                     cb(Status::Unavailable("no replica has coordinator record"), {});
+                     return;
+                   }
+                   Reader r(reply);
+                   CoordinatorRecord rec;
+                   Status ds = CoordinatorRecord::DecodeFrom(&r, &rec);
+                   if (ds.ok()) {
+                     cb(Status::OK(), std::move(rec));
+                   } else {
+                     cb(ds, {});
+                   }
+                 });
 }
 
 void StorageService::GetPage(const PageDescriptor& desc,
@@ -574,31 +500,22 @@ void StorageService::GetPage(const PageDescriptor& desc,
   auto replicas = board_->current.ReplicasOf(desc.home(), replication_);
   Writer w;
   desc.id.EncodeTo(&w);
-  std::string body = w.Release();
 
-  auto try_replica = std::make_shared<std::function<void(size_t)>>();
-  *try_replica = [this, replicas, body, cb = std::move(cb), try_replica](size_t i) {
-    if (i >= replicas.size()) {
-      cb(Status::Unavailable("no replica has page"), {});
-      return;
-    }
-    Call(replicas[i], kGetPage, body,
-         [i, cb, try_replica](Status st, const std::string& reply) {
-           if (st.ok()) {
-             Reader r(reply);
-             Page page;
-             Status ds = Page::DecodeFrom(&r, &page);
-             if (ds.ok()) {
-               cb(Status::OK(), std::move(page));
-             } else {
-               cb(ds, {});
-             }
-             return;
-           }
-           (*try_replica)(i + 1);
-         });
-  };
-  (*try_replica)(0);
+  rpc_.CallFirst(std::move(replicas), kGetPage, w.Release(),
+                 [cb = std::move(cb)](Status st, const std::string& reply) {
+                   if (!st.ok()) {
+                     cb(Status::Unavailable("no replica has page"), {});
+                     return;
+                   }
+                   Reader r(reply);
+                   Page page;
+                   Status ds = Page::DecodeFrom(&r, &page);
+                   if (ds.ok()) {
+                     cb(Status::OK(), std::move(page));
+                   } else {
+                     cb(ds, {});
+                   }
+                 });
 }
 
 void StorageService::Retrieve(const std::string& rel, Epoch epoch,
@@ -680,31 +597,22 @@ void StorageService::FetchTuple(const std::string& rel, const TupleId& id,
   Writer w;
   w.PutString(rel);
   id.EncodeTo(&w);
-  std::string body = w.Release();
 
-  auto try_replica = std::make_shared<std::function<void(size_t)>>();
-  *try_replica = [this, replicas, body, cb = std::move(cb), try_replica](size_t i) {
-    if (i >= replicas.size()) {
-      cb(Status::Unavailable("tuple not found on any replica"), {});
-      return;
-    }
-    Call(replicas[i], kGetTuple, body,
-         [i, cb, try_replica](Status st, const std::string& reply) {
-           if (!st.ok()) {
-             (*try_replica)(i + 1);
-             return;
-           }
-           Reader r(reply);
-           Tuple t;
-           Status ds = DecodeTuple(&r, &t);
-           if (!ds.ok()) {
-             cb(ds, {});
-             return;
-           }
-           cb(Status::OK(), std::move(t));
-         });
-  };
-  (*try_replica)(0);
+  rpc_.CallFirst(std::move(replicas), kGetTuple, w.Release(),
+                 [cb = std::move(cb)](Status st, const std::string& reply) {
+                   if (!st.ok()) {
+                     cb(Status::Unavailable("tuple not found on any replica"), {});
+                     return;
+                   }
+                   Reader r(reply);
+                   Tuple t;
+                   Status ds = DecodeTuple(&r, &t);
+                   if (!ds.ok()) {
+                     cb(ds, {});
+                     return;
+                   }
+                   cb(Status::OK(), std::move(t));
+                 });
 }
 
 void StorageService::RecoverMissingTuple(uint64_t scan_id, const TupleId& id,

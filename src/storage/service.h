@@ -18,6 +18,7 @@
 
 #include "localstore/local_store.h"
 #include "net/node_host.h"
+#include "net/rpc.h"
 #include "overlay/ring.h"
 #include "storage/keys.h"
 #include "storage/page.h"
@@ -91,17 +92,24 @@ class StorageService : public net::Service {
                        const std::function<void(const TupleId&, Tuple)>& yield,
                        std::vector<TupleId>* missing);
 
-  // --- Asynchronous RPC -----------------------------------------------------
-  /// Sends a request; `cb` fires with the reply, a timeout, or Unavailable
-  /// if the connection drops first.
+  // --- Asynchronous RPC (lifecycle-managed, see net/rpc.h) ------------------
+  /// Sends a request; `cb` resolves exactly once — with the reply, with
+  /// TimedOut at the per-call deadline, or with Unavailable when the
+  /// destination is reaped after a connection drop.
   void Call(net::NodeId to, uint16_t code, std::string body, RpcCallback cb,
-            sim::SimTime timeout_us = 60 * sim::kMicrosPerSec);
+            sim::SimTime timeout_us = net::kDefaultRpcTimeoutUs);
   /// Sends the same request to several nodes; cb(OK) when all succeed, else
   /// the first error.
   void CallAll(const std::vector<net::NodeId>& targets, uint16_t code,
                const std::string& body, std::function<void(Status)> cb);
   /// Fire-and-forget message (no reply expected).
   void SendOneWay(net::NodeId to, uint16_t code, std::string body);
+
+  /// Outstanding entries in the pending-call table (leak regression hook).
+  size_t pending_rpc_count() const { return rpc_.pending_count(); }
+  /// Retrieve scans still in flight (leak regression hook).
+  size_t active_scan_count() const { return scans_.size(); }
+  const net::RpcClient::Counters& rpc_counters() const { return rpc_.counters(); }
 
   // --- Distributed reads ----------------------------------------------------
   /// Fetches the coordinator record for (rel, epoch), retrying replicas.
@@ -125,6 +133,12 @@ class StorageService : public net::Service {
   // --- net::Service ----------------------------------------------------------
   void OnMessage(net::NodeId from, uint16_t code, const std::string& payload) override;
   void OnConnectionDrop(net::NodeId peer) override;
+  /// Fail-stop death of this node: drop outstanding calls and scans without
+  /// invoking their callbacks — nothing may execute on a halted node.
+  void OnSelfFailed() override {
+    rpc_.DropAll();
+    scans_.clear();
+  }
 
   struct Counters {
     uint64_t tuples_stored = 0;
@@ -136,12 +150,6 @@ class StorageService : public net::Service {
   const Counters& counters() const { return counters_; }
 
  private:
-  struct PendingCall {
-    net::NodeId to;
-    RpcCallback cb;
-    sim::Simulator::EventId timeout_event;
-  };
-
   struct ScanState {
     std::string relation;
     Epoch epoch;
@@ -171,10 +179,9 @@ class StorageService : public net::Service {
   net::NodeHost* host_;
   std::shared_ptr<SnapshotBoard> board_;
   int replication_;
+  net::RpcClient rpc_;
   localstore::LocalStore store_;
   std::map<std::string, RelationDef> catalog_;
-  uint64_t next_req_id_ = 1;
-  std::unordered_map<uint64_t, PendingCall> pending_;
   uint64_t next_scan_id_ = 1;
   std::unordered_map<uint64_t, ScanState> scans_;
   Counters counters_;
