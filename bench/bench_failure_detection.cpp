@@ -66,9 +66,11 @@ int main() {
   cfg.num_partitions = 32;
 
   auto data = workload::TpchGenerate(cfg);
+  JsonReport report("failure_detection");
   sim::SimTime base_us;
   {
     auto cluster = MakeCluster(data, 8);
+    ReportLoad(report, "publish_sf05", cluster);
     auto plan = PlanSql(cluster, workload::TpchQuerySql("Q10"));
     base_us = static_cast<sim::SimTime>(RunQuery(cluster, plan).time_s * 1e6);
     std::printf("# failure-free Q10: %.3f s\n", base_us / 1e6);
@@ -77,6 +79,7 @@ int main() {
     auto cluster = MakeCluster(data, 8);
     auto plan = PlanSql(cluster, workload::TpchQuerySql("Q10"));
     Detection d = Measure(cluster, plan, /*hang=*/false, 0, 3, base_us);
+    report.AddTimed("tcp_drop_crash", 1, 0, d.detect_s);
     std::printf("tcp_drop,crash,0,%.3f\n", d.detect_s);
   }
   for (double interval_ms : {200.0, 500.0, 1000.0, 2000.0}) {
@@ -84,6 +87,8 @@ int main() {
     auto plan = PlanSql(cluster, workload::TpchQuerySql("Q10"));
     Detection d = Measure(cluster, plan, /*hang=*/true,
                           static_cast<sim::SimTime>(interval_ms * 1000), 3, base_us);
+    report.AddTimed("ping_hang_" + std::to_string(static_cast<int>(interval_ms)) + "ms",
+                    1, 0, d.detect_s);
     std::printf("ping,hang,%.0f,%.3f\n", interval_ms, d.detect_s);
     std::fflush(stdout);
   }

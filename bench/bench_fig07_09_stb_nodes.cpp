@@ -13,14 +13,19 @@ int main() {
               PaperScale() ? "paper" : "small");
   std::printf("scenario,nodes,time_s,total_traffic_MB,per_node_traffic_MB,rows\n");
 
+  JsonReport report("fig07_09_stb_nodes");
   for (workload::StbScenario scenario : workload::kAllStbScenarios) {
     for (size_t nodes : {1, 2, 4, 8, 16}) {
       workload::StbConfig cfg;
       cfg.tuples_per_relation = StbTuples();
       cfg.num_partitions = static_cast<uint32_t>(4 * std::max<size_t>(nodes, 4));
       auto cluster = MakeCluster(workload::StbGenerate(scenario, cfg), nodes);
+      std::string tag = std::string(workload::StbScenarioName(scenario)) + "_n" +
+                        std::to_string(nodes);
+      ReportLoad(report, "publish_" + tag, cluster);
       auto plan = PlanSql(cluster, workload::StbQuerySql(scenario));
       RunMetrics m = RunQuery(cluster, plan);
+      ReportRun(report, "query_" + tag, m);
       std::printf("%s,%zu,%.3f,%.2f,%.2f,%zu\n", workload::StbScenarioName(scenario),
                   nodes, m.time_s, m.total_mb, m.per_node_mb, m.rows);
       std::fflush(stdout);

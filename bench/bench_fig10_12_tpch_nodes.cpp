@@ -13,14 +13,17 @@ int main() {
               PaperScale() ? "paper" : "small");
   std::printf("query,nodes,time_s,total_traffic_MB,per_node_traffic_MB,rows\n");
 
+  JsonReport report("fig10_12_tpch_nodes");
   for (size_t nodes : {1, 2, 4, 8, 16}) {
     workload::TpchConfig cfg;
     cfg.scale_factor = sf;
     cfg.num_partitions = static_cast<uint32_t>(4 * std::max<size_t>(nodes, 4));
     auto cluster = MakeCluster(workload::TpchGenerate(cfg), nodes);
+    ReportLoad(report, "publish_n" + std::to_string(nodes), cluster);
     for (const std::string& q : workload::TpchQueryNames()) {
       auto plan = PlanSql(cluster, workload::TpchQuerySql(q));
       RunMetrics m = RunQuery(cluster, plan);
+      ReportRun(report, "query_" + q + "_n" + std::to_string(nodes), m);
       std::printf("%s,%zu,%.3f,%.2f,%.2f,%zu\n", q.c_str(), nodes, m.time_s,
                   m.total_mb, m.per_node_mb, m.rows);
       std::fflush(stdout);

@@ -12,14 +12,19 @@ int main() {
   std::printf("scenario,tuples_per_relation,time_s,total_traffic_MB,rows\n");
 
   // Paper sweep: 100K, 200K, 400K, 800K, 1.6M == 800K * {1/8,1/4,1/2,1,2}.
+  JsonReport report("fig13_15_stb_scale");
   for (workload::StbScenario scenario : workload::kAllStbScenarios) {
     for (double relative : {0.125, 0.25, 0.5, 1.0, 2.0}) {
       workload::StbConfig cfg;
       cfg.tuples_per_relation = StbTuples(relative);
       cfg.num_partitions = 32;
       auto cluster = MakeCluster(workload::StbGenerate(scenario, cfg), 8);
+      std::string tag = std::string(workload::StbScenarioName(scenario)) + "_t" +
+                        std::to_string(cfg.tuples_per_relation);
+      ReportLoad(report, "publish_" + tag, cluster);
       auto plan = PlanSql(cluster, workload::StbQuerySql(scenario));
       RunMetrics m = RunQuery(cluster, plan);
+      ReportRun(report, "query_" + tag, m);
       std::printf("%s,%llu,%.3f,%.2f,%zu\n", workload::StbScenarioName(scenario),
                   static_cast<unsigned long long>(cfg.tuples_per_relation), m.time_s,
                   m.total_mb, m.rows);

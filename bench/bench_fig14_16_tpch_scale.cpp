@@ -11,14 +11,18 @@ int main() {
               TpchSf(1.0));
   std::printf("query,relative_sf,time_s,total_traffic_MB,rows\n");
 
+  JsonReport report("fig14_16_tpch_scale");
   for (double relative : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     workload::TpchConfig cfg;
     cfg.scale_factor = TpchSf(relative);
     cfg.num_partitions = 32;
     auto cluster = MakeCluster(workload::TpchGenerate(cfg), 8);
+    std::string sf_tag = "sf" + std::to_string(relative).substr(0, 4);
+    ReportLoad(report, "publish_" + sf_tag, cluster);
     for (const std::string& q : workload::TpchQueryNames()) {
       auto plan = PlanSql(cluster, workload::TpchQuerySql(q));
       RunMetrics m = RunQuery(cluster, plan);
+      ReportRun(report, "query_" + q + "_" + sf_tag, m);
       std::printf("%s,%.2f,%.3f,%.2f,%zu\n", q.c_str(), relative, m.time_s,
                   m.total_mb, m.rows);
       std::fflush(stdout);

@@ -19,6 +19,8 @@ int main() {
   // Load once at full speed (the paper shapes traffic only for queries),
   // then re-shape every link per setting; queries are read-only.
   auto cluster = MakeCluster(workload::TpchGenerate(cfg), 8);
+  JsonReport report("fig17_bandwidth");
+  ReportLoad(report, "publish_sf4", cluster);
 
   for (double kbps : {100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0}) {
     net::LinkParams link;
@@ -28,6 +30,8 @@ int main() {
     for (const std::string& q : workload::TpchQueryNames()) {
       auto plan = PlanSql(cluster, workload::TpchQuerySql(q));
       RunMetrics m = RunQuery(cluster, plan);
+      ReportRun(report, "query_" + q + "_kbps" + std::to_string(static_cast<int>(kbps)),
+                m);
       std::printf("%s,%.0f,%.3f\n", q.c_str(), kbps, m.time_s);
       std::fflush(stdout);
     }

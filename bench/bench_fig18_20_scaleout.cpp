@@ -23,11 +23,14 @@ int main() {
   link.bandwidth_bytes_per_sec = 100.0e6;
   link.latency_us = 300;
 
+  JsonReport report("fig18_20_scaleout");
   for (size_t nodes : {10, 20, 40, 70, 100}) {
     auto cluster = MakeCluster(data, nodes, link);
+    ReportLoad(report, "publish_n" + std::to_string(nodes), cluster);
     for (const std::string& q : workload::TpchQueryNames()) {
       auto plan = PlanSql(cluster, workload::TpchQuerySql(q));
       RunMetrics m = RunQuery(cluster, plan);
+      ReportRun(report, "query_" + q + "_n" + std::to_string(nodes), m);
       std::printf("%s,%zu,%.3f,%.2f,%.2f\n", q.c_str(), nodes, m.time_s, m.total_mb,
                   m.per_node_mb);
       std::fflush(stdout);

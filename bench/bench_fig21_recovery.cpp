@@ -45,6 +45,7 @@ int main() {
   std::printf("# this run: SF %.4f\n", sf);
   std::printf("query,failure_frac,failure_time_s,restart_time_s,recovery_time_s,no_failure_time_s\n");
 
+  JsonReport report("fig21_recovery");
   for (const std::string& q : {std::string("Q1"), std::string("Q10")}) {
     workload::TpchConfig cfg;
     cfg.scale_factor = sf;
@@ -53,8 +54,11 @@ int main() {
     double base_s;
     {
       auto cluster = MakeCluster(data, 8);
+      ReportLoad(report, "publish_" + q, cluster);
       auto plan = PlanSql(cluster, workload::TpchQuerySql(q));
-      base_s = RunQuery(cluster, plan).time_s;
+      RunMetrics base = RunQuery(cluster, plan);
+      ReportRun(report, "query_" + q + "_no_failure", base);
+      base_s = base.time_s;
     }
 
     for (double frac : {0.2, 0.5, 0.8}) {
@@ -78,6 +82,9 @@ int main() {
       }
       std::printf("%s,%.1f,%.3f,%.3f,%.3f,%.3f\n", q.c_str(), frac,
                   static_cast<double>(fail_at) / 1e6, restart, recovery, base_s);
+      std::string tag = q + "_f" + std::to_string(frac).substr(0, 3);
+      report.AddTimed("restart_" + tag, 1, 0, restart);
+      report.AddTimed("recovery_" + tag, 1, 0, recovery);
       std::fflush(stdout);
     }
   }

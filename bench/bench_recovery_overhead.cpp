@@ -17,6 +17,8 @@ int main() {
   cfg.scale_factor = sf;
   cfg.num_partitions = 32;
   auto cluster = MakeCluster(workload::TpchGenerate(cfg), 8);
+  JsonReport report("recovery_overhead");
+  ReportLoad(report, "publish_sf05", cluster);
 
   for (const std::string& q : workload::TpchQueryNames()) {
     auto plan = PlanSql(cluster, workload::TpchQuerySql(q));
@@ -26,6 +28,8 @@ int main() {
     RunMetrics m_off = RunQuery(cluster, plan, off);
     query::QueryOptions on;  // defaults: provenance + incremental recovery
     RunMetrics m_on = RunQuery(cluster, plan, on);
+    ReportRun(report, "query_" + q + "_recovery_off", m_off);
+    ReportRun(report, "query_" + q + "_recovery_on", m_on);
     std::printf("%s,%.3f,%.3f,%.1f,%.2f,%.2f,%.1f\n", q.c_str(), m_off.time_s,
                 m_on.time_s, 100.0 * (m_on.time_s / m_off.time_s - 1.0),
                 m_off.total_mb, m_on.total_mb,

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 build + full test suite, then the sanitizer suite with leak
-# detection on the layers that own async RPC state.
+# CI gate: tier-1 build + full test suite, the sanitizer suite with leak
+# detection on the layers that own async RPC state, and a bench smoke run
+# that validates the BENCH_*.json perf-tracking output.
 #
-#   ci/check.sh            # both stages
+#   ci/check.sh            # all stages
 #   ci/check.sh tier1      # just the tier-1 verify command
 #   ci/check.sh sanitize   # just the ASan/UBSan/LSan stage
+#   ci/check.sh bench      # just the bench JSON smoke stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,10 +32,36 @@ sanitize() {
   done
 }
 
+bench_smoke() {
+  echo "== bench smoke: micro-substrate run + JSON field validation"
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target bench_micro_substrate
+  (cd build && ORCHESTRA_BENCH_SMOKE=1 ./bench_micro_substrate > /dev/null)
+  python3 - build/BENCH_micro_substrate.json <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "micro_substrate", doc
+assert doc["scale"] in ("small", "paper"), doc
+entries = {e["name"]: e for e in doc["entries"]}
+required = ["localstore_put", "localstore_overwrite", "localstore_get",
+            "localstore_get_view", "localstore_contains", "localstore_scan",
+            "localstore_prefix_scan", "localstore_churn", "localstore_mixed"]
+for name in required:
+    assert name in entries, f"missing bench entry {name}"
+for e in doc["entries"]:
+    for field in ("ops_per_sec", "wall_clock_s", "sim_makespan_s", "wire_bytes"):
+        assert field in e, f"entry {e['name']} missing field {field}"
+        assert isinstance(e[field], (int, float)), (e["name"], field)
+print(f"bench smoke OK: {len(doc['entries'])} entries validated")
+PY
+}
+
 case "$stage" in
   tier1) tier1 ;;
   sanitize) sanitize ;;
-  all) tier1; sanitize ;;
-  *) echo "usage: ci/check.sh [tier1|sanitize|all]" >&2; exit 2 ;;
+  bench) bench_smoke ;;
+  all) tier1; sanitize; bench_smoke ;;
+  *) echo "usage: ci/check.sh [tier1|sanitize|bench|all]" >&2; exit 2 ;;
 esac
 echo "== all checks passed"

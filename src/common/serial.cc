@@ -129,6 +129,13 @@ Status Reader::GetStringView(std::string_view* s) {
   return Status::OK();
 }
 
+Status Reader::GetRawView(std::string_view* out, size_t n) {
+  ORC_RETURN_IF_ERROR(Need(n));
+  *out = data_.substr(pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
 Status Reader::GetRaw(void* out, size_t n) {
   ORC_RETURN_IF_ERROR(Need(n));
   std::memcpy(out, data_.data() + pos_, n);

@@ -60,7 +60,12 @@ class Reader {
   Status GetString(std::string* s);
   Status GetStringView(std::string_view* s);
   Status GetRaw(void* out, size_t n);
+  /// Zero-copy view of the next `n` raw (unprefixed) bytes.
+  Status GetRawView(std::string_view* out, size_t n);
   Status GetBool(bool* b);
+
+  /// Zero-copy view of everything not yet consumed (position is unchanged).
+  std::string_view RemainingView() const { return data_.substr(pos_); }
 
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }

@@ -594,11 +594,9 @@ void QueryService::ProcessPage(Exec& ex, int32_t scan_op, const storage::Page& p
   // An id participates in a partial rescan only if its data node (under the
   // previous routing table) failed: its spillover injections were purged and
   // its fetch requests died with the node.
-  auto rel_def = storage_->Relation(op.relation);
-  auto prev_owner_failed = [&ex, &rel_def](const storage::TupleId& id) {
-    if (!rel_def.ok()) return false;
-    net::NodeId prev =
-        ex.prev_table.OwnerOf(storage::PlacementHash(*rel_def, id.key_bytes));
+  // Placement hashes ride in the page (page.hashes[i] belongs to ids[i]).
+  auto prev_owner_failed = [&ex](const HashId& hash) {
+    net::NodeId prev = ex.prev_table.OwnerOf(hash);
     return prev < ex.cx.failed.size() && ex.cx.failed.Test(prev);
   };
 
@@ -628,31 +626,38 @@ void QueryService::ProcessPage(Exec& ex, int32_t scan_op, const storage::Page& p
 
   // Split the page's ids into locally-owned and remote (Algorithm 1 line 8 /
   // Table I distributed scan): remote tuples are pushed into the plan at
-  // their data storage node.
+  // their data storage node. Ownership routes on the page-carried hashes.
   storage::Page local_part;
   local_part.desc = page.desc;
-  std::map<net::NodeId, std::vector<storage::TupleId>> remote;
-  for (const storage::TupleId& id : page.ids) {
+  auto take_local = [&local_part, &page](size_t i) {
+    local_part.ids.push_back(page.ids[i]);
+    local_part.hashes.push_back(page.hashes[i]);
+  };
+  std::map<net::NodeId, std::vector<size_t>> remote;
+  for (size_t i = 0; i < page.ids.size(); ++i) {
+    const storage::TupleId& id = page.ids[i];
     if (!op.key_filter.Matches(id.key_bytes)) continue;
-    if (mode == ScanMode::kFailedOwnersOnly && !prev_owner_failed(id)) continue;
-    if (broadcast) {
-      local_part.ids.push_back(id);
+    if (mode == ScanMode::kFailedOwnersOnly && !prev_owner_failed(page.hashes[i])) {
       continue;
     }
-    net::NodeId owner = ex.table.OwnerOf(storage::PlacementHash(*def, id.key_bytes));
+    if (broadcast) {
+      take_local(i);
+      continue;
+    }
+    net::NodeId owner = ex.table.OwnerOf(page.hashes[i]);
     if (replicated) {
       // Every node holds the data; the hash owner injects, others skip.
-      if (owner == node()) local_part.ids.push_back(id);
+      if (owner == node()) take_local(i);
       continue;
     }
     if (owner == node()) {
-      local_part.ids.push_back(id);
+      take_local(i);
     } else if (owner < ex.cx.failed.size() && ex.cx.failed.Test(owner)) {
       // Data owner already failed under this table: read from local replica
       // or fetch from another replica.
-      local_part.ids.push_back(id);
+      take_local(i);
     } else {
-      remote[owner].push_back(id);
+      remote[owner].push_back(i);
     }
   }
 
@@ -685,14 +690,21 @@ void QueryService::ProcessPage(Exec& ex, int32_t scan_op, const storage::Page& p
     });
   }
 
-  for (auto& [owner, ids] : remote) {
+  std::string hb;  // reused 20-byte scratch: no per-id allocation
+  for (auto& [owner, idxs] : remote) {
     Writer w;
     w.PutU64(ex.query_id);
     w.PutVarint32(static_cast<uint32_t>(scan_op));
     w.PutVarint32(ex.cx.phase);
     w.PutString(op.relation);
-    w.PutVarint64(ids.size());
-    for (const auto& id : ids) id.EncodeTo(&w);
+    w.PutVarint64(idxs.size());
+    for (size_t i : idxs) {
+      // hash(20B BE) + TupleId, so the data node reads without SHA-1.
+      hb.clear();
+      page.hashes[i].AppendBigEndian(&hb);
+      w.PutRaw(hb.data(), hb.size());
+      page.ids[i].EncodeTo(&w);
+    }
     SendTo(owner, kQueryFetch, w.Release());
   }
 }
@@ -729,8 +741,13 @@ void QueryService::HandleQueryFetch(net::NodeId from, Reader* r) {
     w.PutString(rel);
     w.PutVarint64(n);
     for (uint64_t i = 0; i < n; ++i) {
+      std::string_view hash_be20;
       storage::TupleId id;
-      if (!storage::TupleId::DecodeFrom(r, &id).ok()) return;
+      if (!r->GetRawView(&hash_be20, 20).ok() ||
+          !storage::TupleId::DecodeFrom(r, &id).ok()) {
+        return;
+      }
+      w.PutRaw(hash_be20.data(), hash_be20.size());
       id.EncodeTo(&w);
     }
     BufferPending(qid, from, kQueryFetch, w.Release());
@@ -743,12 +760,23 @@ void QueryService::HandleQueryFetch(net::NodeId from, Reader* r) {
     if (node() < ex->cx.taint_bits) taint.Set(node());
   }
   for (uint64_t i = 0; i < n; ++i) {
+    std::string_view hash_be20;
     storage::TupleId id;
-    if (!storage::TupleId::DecodeFrom(r, &id).ok()) return;
-    auto t = storage_->ReadTupleLocal(rel, id);
+    if (!r->GetRawView(&hash_be20, 20).ok() ||
+        !storage::TupleId::DecodeFrom(r, &id).ok()) {
+      return;
+    }
+    // The wire-carried hash keys the local read directly (no SHA-1).
+    auto bytes = storage_->ReadTupleBytesRaw(rel, hash_be20, id.key_bytes, id.epoch);
+    Tuple t;
+    bool ok = bytes.ok();
+    if (ok) {
+      Reader tr(bytes.value());
+      ok = storage::DecodeTuple(&tr, &t).ok();
+    }
     ex->cx.charge(costs.tuple_scan_us);
-    if (t.ok()) {
-      InjectScanRow(*ex, static_cast<int32_t>(scan_op), std::move(t).value(), taint);
+    if (ok) {
+      InjectScanRow(*ex, static_cast<int32_t>(scan_op), std::move(t), taint);
     } else {
       ScanState& ss = ex->scans[static_cast<int32_t>(scan_op)];
       ss.async_outstanding += 1;

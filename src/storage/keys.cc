@@ -2,7 +2,7 @@
 
 namespace orchestra::storage::keys {
 
-void AppendLenPrefixed(std::string* out, const std::string& s) {
+void AppendLenPrefixed(std::string* out, std::string_view s) {
   uint64_t v = s.size();
   while (v >= 0x80) {
     out->push_back(static_cast<char>(v | 0x80));
@@ -16,8 +16,8 @@ void AppendEpochBE(std::string* out, Epoch e) {
   for (int i = 7; i >= 0; --i) out->push_back(static_cast<char>(e >> (8 * i)));
 }
 
-std::string Data(const std::string& relation, const HashId& hash,
-                 const std::string& key_bytes, Epoch epoch) {
+std::string Data(std::string_view relation, const HashId& hash,
+                 std::string_view key_bytes, Epoch epoch) {
   std::string k = DataPrefix(relation);
   hash.AppendBigEndian(&k);
   AppendLenPrefixed(&k, key_bytes);
@@ -25,19 +25,28 @@ std::string Data(const std::string& relation, const HashId& hash,
   return k;
 }
 
-std::string DataPrefix(const std::string& relation) {
+std::string DataRaw(std::string_view relation, std::string_view hash_be20,
+                    std::string_view key_bytes, Epoch epoch) {
+  std::string k = DataPrefix(relation);
+  k.append(hash_be20);
+  AppendLenPrefixed(&k, key_bytes);
+  AppendEpochBE(&k, epoch);
+  return k;
+}
+
+std::string DataPrefix(std::string_view relation) {
   std::string k = "D";
   AppendLenPrefixed(&k, relation);
   return k;
 }
 
-std::string DataHashFloor(const std::string& relation, const HashId& h) {
+std::string DataHashFloor(std::string_view relation, const HashId& h) {
   std::string k = DataPrefix(relation);
   h.AppendBigEndian(&k);
   return k;
 }
 
-std::string PageRec(const std::string& relation, Epoch epoch, uint32_t partition) {
+std::string PageRec(std::string_view relation, Epoch epoch, uint32_t partition) {
   std::string k = "P";
   AppendLenPrefixed(&k, relation);
   for (int i = 3; i >= 0; --i) k.push_back(static_cast<char>(partition >> (8 * i)));
@@ -45,21 +54,21 @@ std::string PageRec(const std::string& relation, Epoch epoch, uint32_t partition
   return k;
 }
 
-std::string Inverse(const std::string& relation, uint32_t partition) {
+std::string Inverse(std::string_view relation, uint32_t partition) {
   std::string k = "I";
   AppendLenPrefixed(&k, relation);
   for (int i = 3; i >= 0; --i) k.push_back(static_cast<char>(partition >> (8 * i)));
   return k;
 }
 
-std::string Coord(const std::string& relation, Epoch epoch) {
+std::string Coord(std::string_view relation, Epoch epoch) {
   std::string k = "C";
   AppendLenPrefixed(&k, relation);
   AppendEpochBE(&k, epoch);
   return k;
 }
 
-std::string Catalog(const std::string& relation) {
+std::string Catalog(std::string_view relation) {
   std::string k = "M";
   AppendLenPrefixed(&k, relation);
   return k;

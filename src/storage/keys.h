@@ -10,6 +10,7 @@
 #define ORCHESTRA_STORAGE_KEYS_H_
 
 #include <string>
+#include <string_view>
 
 #include "hash/hash_id.h"
 #include "storage/page.h"
@@ -17,30 +18,34 @@
 namespace orchestra::storage::keys {
 
 /// Varint-length-prefixed string: makes multi-part keys prefix-free.
-void AppendLenPrefixed(std::string* out, const std::string& s);
+void AppendLenPrefixed(std::string* out, std::string_view s);
 void AppendEpochBE(std::string* out, Epoch e);
 
 /// Data record: 'D' <rel> <hash:20B BE> <key_bytes:len-prefixed> <epoch:8B BE>
-std::string Data(const std::string& relation, const HashId& hash,
-                 const std::string& key_bytes, Epoch epoch);
+std::string Data(std::string_view relation, const HashId& hash,
+                 std::string_view key_bytes, Epoch epoch);
+/// Same layout, with the hash already in its 20-byte big-endian wire form
+/// (as carried by kPutTuples/kFetchTuples); splices without a HashId decode.
+std::string DataRaw(std::string_view relation, std::string_view hash_be20,
+                    std::string_view key_bytes, Epoch epoch);
 /// Prefix of all data records of a relation.
-std::string DataPrefix(const std::string& relation);
+std::string DataPrefix(std::string_view relation);
 /// Prefix of all data records of a relation with hash >= h (for range scans).
-std::string DataHashFloor(const std::string& relation, const HashId& h);
+std::string DataHashFloor(std::string_view relation, const HashId& h);
 
 /// Index-node page record: 'P' <rel> <partition:4B BE> <epoch:8B BE>
-std::string PageRec(const std::string& relation, Epoch epoch, uint32_t partition);
+std::string PageRec(std::string_view relation, Epoch epoch, uint32_t partition);
 
 /// Inverse-node record: 'I' <rel> <partition:4B BE>  ->  latest PageId.
 /// "look up the page holding the old version of the tuple using an inverse
 /// node" (§IV).
-std::string Inverse(const std::string& relation, uint32_t partition);
+std::string Inverse(std::string_view relation, uint32_t partition);
 
 /// Relation-coordinator record: 'C' <rel> <epoch:8B BE>
-std::string Coord(const std::string& relation, Epoch epoch);
+std::string Coord(std::string_view relation, Epoch epoch);
 
 /// Catalog entry: 'M' <rel>
-std::string Catalog(const std::string& relation);
+std::string Catalog(std::string_view relation);
 
 }  // namespace orchestra::storage::keys
 

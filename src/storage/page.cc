@@ -16,14 +16,22 @@ Status TupleId::DecodeFrom(Reader* r, TupleId* out) {
   return r->GetVarint64(&out->epoch);
 }
 
-HashId TupleKeyHash(const std::string& key_bytes) {
+namespace {
+// Single-threaded simulation: a plain counter is sufficient.
+uint64_t g_tuple_key_hash_count = 0;
+}  // namespace
+
+uint64_t TupleKeyHashCount() { return g_tuple_key_hash_count; }
+
+HashId TupleKeyHash(std::string_view key_bytes) {
+  g_tuple_key_hash_count += 1;
   Sha1Hasher h;
   h.Update("T\x1f");
   h.Update(key_bytes);
   return HashId::FromDigest(h.Finish());
 }
 
-HashId PlacementHash(const RelationDef& def, const std::string& key_bytes) {
+HashId PlacementHash(const RelationDef& def, std::string_view key_bytes) {
   uint32_t arity = def.effective_partition_arity();
   if (arity >= def.schema.key_arity()) return TupleKeyHash(key_bytes);
   auto prefix = PartitionPrefixOfKey(arity, key_bytes);
@@ -103,9 +111,13 @@ Status PageDescriptor::DecodeFrom(Reader* r, PageDescriptor* out) {
 }
 
 void Page::EncodeTo(Writer* w) const {
+  ORC_CHECK(hashes.size() == ids.size(), "page: hashes not parallel to ids");
   desc.EncodeTo(w);
   w->PutVarint64(ids.size());
-  for (const auto& id : ids) id.EncodeTo(w);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i].EncodeTo(w);
+    hashes[i].EncodeTo(w);
+  }
 }
 
 Status Page::DecodeFrom(Reader* r, Page* out) {
@@ -114,10 +126,15 @@ Status Page::DecodeFrom(Reader* r, Page* out) {
   ORC_RETURN_IF_ERROR(r->GetVarint64(&n));
   out->ids.clear();
   out->ids.reserve(n);
+  out->hashes.clear();
+  out->hashes.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     TupleId id;
     ORC_RETURN_IF_ERROR(TupleId::DecodeFrom(r, &id));
+    HashId h;
+    ORC_RETURN_IF_ERROR(HashId::DecodeFrom(r, &h));
     out->ids.push_back(std::move(id));
+    out->hashes.push_back(h);
   }
   return Status::OK();
 }

@@ -36,13 +36,19 @@ struct TupleId {
 /// that a relation partitioned on its key is already co-partitioned with any
 /// rehash on equal join values — the paper's Fig. 6 plan rehashes R but not
 /// S). Determines the data storage node (Fig. 3).
-HashId TupleKeyHash(const std::string& key_bytes);
+HashId TupleKeyHash(std::string_view key_bytes);
 
 /// Placement hash of a tuple under its relation's partitioning rule: hashes
 /// only the placement prefix of the key bytes (RelationDef::
 /// partition_key_arity). With the default (all key attributes) this equals
 /// TupleKeyHash(key_bytes).
-HashId PlacementHash(const RelationDef& def, const std::string& key_bytes);
+HashId PlacementHash(const RelationDef& def, std::string_view key_bytes);
+
+/// Number of TupleKeyHash (SHA-1 tuple-hash) invocations since process
+/// start. The publish pipeline computes each tuple's placement hash exactly
+/// once and ships it with the tuple/page wire formats; tests assert the
+/// invariant via deltas of this counter.
+uint64_t TupleKeyHashCount();
 
 /// Hash location of the relation coordinator for (relation, epoch).
 HashId CoordinatorHash(const std::string& relation, Epoch epoch);
@@ -90,10 +96,13 @@ struct PageDescriptor {
 
 /// A page version: the TupleIds in this partition at this epoch, sorted by
 /// (hash, key_bytes) so data-node scans are a single ordered pass (§V-B,
-/// distributed scan).
+/// distributed scan). `hashes[i]` is the placement hash of `ids[i]`,
+/// computed once at publish time and carried in the wire/storage format so
+/// index nodes and scans never recompute SHA-1 per tuple.
 struct Page {
   PageDescriptor desc;
   std::vector<TupleId> ids;
+  std::vector<HashId> hashes;  // parallel to ids
 
   void EncodeTo(Writer* w) const;
   static Status DecodeFrom(Reader* r, Page* out);

@@ -73,26 +73,32 @@ void Publisher::PublishBatch(UpdateBatch batch,
 }
 
 void Publisher::FetchPages(std::shared_ptr<PubState> st) {
-  // Group each relation's updates by partition.
+  // Group each relation's updates by partition. Each tuple's placement hash
+  // is computed here, once, and carried through the rest of the publish.
   for (auto& [rel, updates] : st->batch) {
-    RelationDef def = service_->Relation(rel).value();
+    const RelationDef* def = service_->FindRelation(rel);
     std::map<uint32_t, PartitionWork> by_partition;
     for (const Update& u : updates) {
-      std::string kb = EncodeTupleKey(def.schema, u.tuple);
-      uint32_t part = PartitionIndexFor(PlacementHash(def, kb), def.num_partitions);
+      std::string kb = EncodeTupleKey(def->schema, u.tuple);
+      HashId h = PlacementHash(*def, kb);
+      uint32_t part = PartitionIndexFor(h, def->num_partitions);
       PartitionWork& pw = by_partition[part];
       pw.relation = rel;
       pw.partition = part;
       pw.updates.push_back(&u);
+      pw.update_keys.push_back(std::move(kb));
+      pw.update_hashes.push_back(h);
     }
+    // Partition -> current descriptor, built once per relation instead of a
+    // linear scan over rec.pages for every touched partition.
     const CoordinatorRecord& rec = st->records[rel];
+    std::map<uint32_t, const PageDescriptor*> desc_of;
+    for (const PageDescriptor& d : rec.pages) desc_of[d.id.partition] = &d;
     for (auto& [part, pw] : by_partition) {
-      for (const PageDescriptor& d : rec.pages) {
-        if (d.id.partition == part) {
-          pw.has_old_desc = true;
-          pw.old_desc = d;
-          break;
-        }
+      auto d = desc_of.find(part);
+      if (d != desc_of.end()) {
+        pw.has_old_desc = true;
+        pw.old_desc = *d->second;
       }
       st->parts.push_back(std::move(pw));
     }
@@ -133,40 +139,60 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
   std::map<std::string, std::map<uint32_t, bool>> partition_nonempty;
 
   for (PartitionWork& pw : st->parts) {
-    RelationDef def = service_->Relation(pw.relation).value();
-    // key bytes -> epoch of the live version.
-    std::map<std::string, Epoch> ids;
-    for (const TupleId& id : pw.old_page.ids) ids[id.key_bytes] = id.epoch;
+    const RelationDef* def = service_->FindRelation(pw.relation);
+    // key bytes -> (epoch, hash) of the live version. Hashes come from the
+    // old page (for carried-forward tuples) or from FetchPages (for
+    // updates); nothing here computes SHA-1.
+    struct Live {
+      Epoch epoch;
+      const HashId* hash;
+    };
+    std::map<std::string_view, Live> ids;
+    for (size_t i = 0; i < pw.old_page.ids.size(); ++i) {
+      ids[pw.old_page.ids[i].key_bytes] = {pw.old_page.ids[i].epoch,
+                                           &pw.old_page.hashes[i]};
+    }
 
-    for (const Update* u : pw.updates) {
-      std::string kb = EncodeTupleKey(def.schema, u->tuple);
+    for (size_t j = 0; j < pw.updates.size(); ++j) {
+      const Update* u = pw.updates[j];
+      const std::string& kb = pw.update_keys[j];
       if (u->kind == Update::Kind::kDelete) {
-        ids.erase(kb);
+        ids.erase(std::string_view(kb));
         continue;
       }
-      ids[kb] = st->new_epoch;
+      ids[kb] = {st->new_epoch, &pw.update_hashes[j]};
       Writer tw;
       EncodeTuple(u->tuple, &tw);
       tuple_writes.push_back(TupleWrite{pw.relation,
                                         TupleId{kb, st->new_epoch},
                                         tw.Release(),
-                                        PlacementHash(def, kb),
-                                        def.replicate_everywhere});
+                                        pw.update_hashes[j],
+                                        def->replicate_everywhere});
     }
 
     Page page;
     page.desc.id = PageId{pw.relation, st->new_epoch, pw.partition};
-    page.desc.num_partitions = def.num_partitions;
-    page.ids.reserve(ids.size());
-    for (auto& [kb, e] : ids) page.ids.push_back(TupleId{kb, e});
-    // Sort by (hash, key) so data-node scans are one ordered pass.
-    std::sort(page.ids.begin(), page.ids.end(),
-              [&def](const TupleId& a, const TupleId& b) {
-                HashId ha = PlacementHash(def, a.key_bytes);
-                HashId hb = PlacementHash(def, b.key_bytes);
-                if (ha != hb) return ha < hb;
-                return a.key_bytes < b.key_bytes;
-              });
+    page.desc.num_partitions = def->num_partitions;
+    // Sort by (hash, key) so data-node scans are one ordered pass — a
+    // decorated sort over the precomputed hashes, not SHA-1 per comparison.
+    struct Row {
+      const HashId* hash;
+      std::string_view key;
+      Epoch epoch;
+    };
+    std::vector<Row> rows;
+    rows.reserve(ids.size());
+    for (const auto& [kb, live] : ids) rows.push_back({live.hash, kb, live.epoch});
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      if (*a.hash != *b.hash) return *a.hash < *b.hash;
+      return a.key < b.key;
+    });
+    page.ids.reserve(rows.size());
+    page.hashes.reserve(rows.size());
+    for (const Row& row : rows) {
+      page.ids.push_back(TupleId{std::string(row.key), row.epoch});
+      page.hashes.push_back(*row.hash);
+    }
     partition_nonempty[pw.relation][pw.partition] = !page.ids.empty();
     // Empty pages are still written (they keep the inverse node current);
     // they simply carry no descriptor in the new coordinator record.
@@ -186,15 +212,22 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
   std::vector<net::NodeId> everyone;
   for (const auto& m : snap.members()) everyone.push_back(m.node);
 
-  // 3a: tuple versions, batched per destination node.
+  // 3a: tuple versions, batched per destination node. The wire format leads
+  // each tuple with its placement hash so receivers key their stores without
+  // rehashing (kPutTuples: hash(20B BE), key, epoch, tuple bytes).
   std::map<net::NodeId, std::map<std::string, Writer>> per_node_rel;
   std::map<net::NodeId, std::map<std::string, uint64_t>> per_node_rel_count;
+  std::string hash_be;  // reused 20-byte scratch: no per-tuple allocation
   for (const TupleWrite& tw : tuple_writes) {
+    hash_be.clear();
+    tw.hash.AppendBigEndian(&hash_be);
     std::vector<net::NodeId> targets =
         tw.everywhere ? everyone : snap.ReplicasOf(tw.hash, service_->replication());
     for (net::NodeId t : targets) {
       Writer& w = per_node_rel[t][tw.relation];
-      tw.id.EncodeTo(&w);
+      w.PutRaw(hash_be.data(), hash_be.size());
+      w.PutString(tw.id.key_bytes);
+      w.PutVarint64(tw.id.epoch);
       w.PutString(tw.tuple_bytes);
       per_node_rel_count[t][tw.relation] += 1;
     }
@@ -216,11 +249,11 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
 
   // 3b: new page versions to their index nodes.
   for (const Page& page : new_pages) {
-    RelationDef def = service_->Relation(page.desc.id.relation).value();
+    const RelationDef* def = service_->FindRelation(page.desc.id.relation);
     Writer w;
     page.EncodeTo(&w);
     std::vector<net::NodeId> targets =
-        def.replicate_everywhere
+        def->replicate_everywhere
             ? everyone
             : snap.ReplicasOf(page.desc.home(), service_->replication());
     st->outstanding += 1;
@@ -245,12 +278,12 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
     }
     // Add the new versions of touched, non-empty partitions.
     if (changed != partition_nonempty.end()) {
-      RelationDef def = service_->Relation(rel).value();
+      const RelationDef* def = service_->FindRelation(rel);
       for (const auto& [part, nonempty] : changed->second) {
         if (!nonempty) continue;
         PageDescriptor d;
         d.id = PageId{rel, st->new_epoch, part};
-        d.num_partitions = def.num_partitions;
+        d.num_partitions = def->num_partitions;
         rec.pages.push_back(d);
       }
     }

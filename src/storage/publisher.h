@@ -60,6 +60,12 @@ class Publisher {
     bool has_old_desc = false;
     PageDescriptor old_desc;
     std::vector<const Update*> updates;
+    // Parallel to `updates`: encoded key bytes and placement hash, computed
+    // exactly once per update in FetchPages and reused everywhere after
+    // (page sort, tuple writes, wire format) — SHA-1 never runs twice for
+    // the same tuple in a publish.
+    std::vector<std::string> update_keys;
+    std::vector<HashId> update_hashes;
     Page old_page;  // empty when !has_old_desc
   };
 

@@ -43,10 +43,17 @@ void StorageService::AddRelationLocal(const RelationDef& def) {
   store_.Put(keys::Catalog(def.name), w.data()).ok();
 }
 
-Result<RelationDef> StorageService::Relation(const std::string& name) const {
+Result<RelationDef> StorageService::Relation(std::string_view name) const {
   auto it = catalog_.find(name);
-  if (it == catalog_.end()) return Status::NotFound("no relation " + name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no relation " + std::string(name));
+  }
   return it->second;
+}
+
+const RelationDef* StorageService::FindRelation(std::string_view name) const {
+  auto it = catalog_.find(name);
+  return it == catalog_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> StorageService::RelationNames() const {
@@ -85,14 +92,25 @@ Result<PageId> StorageService::ReadInverseLocal(const std::string& rel,
 
 Result<Tuple> StorageService::ReadTupleLocal(const std::string& rel,
                                              const TupleId& id) const {
-  ORC_ASSIGN_OR_RETURN(RelationDef def, Relation(rel));
-  HashId h = PlacementHash(def, id.key_bytes);
-  ORC_ASSIGN_OR_RETURN(std::string bytes,
-                       store_.Get(keys::Data(rel, h, id.key_bytes, id.epoch)));
+  ORC_ASSIGN_OR_RETURN(std::string_view bytes, ReadTupleBytesLocal(rel, id));
   Reader r(bytes);
   Tuple t;
   ORC_RETURN_IF_ERROR(DecodeTuple(&r, &t));
   return t;
+}
+
+Result<std::string_view> StorageService::ReadTupleBytesLocal(
+    std::string_view rel, const TupleId& id) const {
+  const RelationDef* def = FindRelation(rel);
+  if (def == nullptr) return Status::NotFound("no relation " + std::string(rel));
+  HashId h = PlacementHash(*def, id.key_bytes);
+  return store_.GetView(keys::Data(rel, h, id.key_bytes, id.epoch));
+}
+
+Result<std::string_view> StorageService::ReadTupleBytesRaw(
+    std::string_view rel, std::string_view hash_be20, std::string_view key_bytes,
+    Epoch epoch) const {
+  return store_.GetView(keys::DataRaw(rel, hash_be20, key_bytes, epoch));
 }
 
 Status StorageService::ScanPageLocal(
@@ -100,14 +118,20 @@ Status StorageService::ScanPageLocal(
     const std::function<void(const TupleId&, Tuple)>& yield,
     std::vector<TupleId>* missing) {
   // Build the membership set: localstore data key -> index into page.ids.
-  ORC_ASSIGN_OR_RETURN(RelationDef def, Relation(rel));
-  std::unordered_map<std::string, size_t> wanted;
+  // Placement hashes ride in the page itself — no SHA-1 here. Transparent
+  // hashing lets the scan below probe with key views, no per-record string.
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, size_t, SvHash, std::equal_to<>> wanted;
   wanted.reserve(page.ids.size());
   for (size_t i = 0; i < page.ids.size(); ++i) {
     const TupleId& id = page.ids[i];
     if (!filter.Matches(id.key_bytes)) continue;
-    HashId h = PlacementHash(def, id.key_bytes);
-    wanted.emplace(keys::Data(rel, h, id.key_bytes, id.epoch), i);
+    wanted.emplace(keys::Data(rel, page.hashes[i], id.key_bytes, id.epoch), i);
   }
   ChargeCpu(host_->network()->costs().index_entry_us *
             static_cast<double>(page.ids.size()));
@@ -125,7 +149,7 @@ Status StorageService::ScanPageLocal(
        it.Next()) {
     if (!wraps && std::string_view(it.key()) >= end_key) break;
     ++scanned;
-    auto w = wanted.find(std::string(it.key()));
+    auto w = wanted.find(it.key());
     if (w == wanted.end()) continue;  // other version / other epoch
     Reader r(it.value());
     Tuple t;
@@ -213,21 +237,27 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       return;
     }
     case kPutTuples: {
-      std::string rel;
+      // Zero-copy receive: every field is consumed as a view of the payload,
+      // and the publisher-computed placement hash is spliced straight into
+      // the data key — no SHA-1, no TupleId/tuple-bytes copies.
+      std::string_view rel;
       uint64_t n;
-      if (!r->GetString(&rel).ok() || !r->GetVarint64(&n).ok()) return;
-      auto def = Relation(rel);
-      if (!def.ok()) {
-        Respond(from, req_id, def.status(), {});
+      if (!r->GetStringView(&rel).ok() || !r->GetVarint64(&n).ok()) return;
+      if (FindRelation(rel) == nullptr) {
+        Respond(from, req_id, Status::NotFound("no relation " + std::string(rel)),
+                {});
         return;
       }
       for (uint64_t i = 0; i < n; ++i) {
-        TupleId id;
-        if (!TupleId::DecodeFrom(r, &id).ok()) return;
-        std::string_view tuple_bytes;
-        if (!r->GetStringView(&tuple_bytes).ok()) return;
-        HashId h = PlacementHash(*def, id.key_bytes);
-        store_.Put(keys::Data(rel, h, id.key_bytes, id.epoch), tuple_bytes).ok();
+        std::string_view hash_be20, key_bytes, tuple_bytes;
+        uint64_t epoch;
+        if (!r->GetRawView(&hash_be20, 20).ok() ||
+            !r->GetStringView(&key_bytes).ok() || !r->GetVarint64(&epoch).ok() ||
+            !r->GetStringView(&tuple_bytes).ok()) {
+          return;
+        }
+        store_.Put(keys::DataRaw(rel, hash_be20, key_bytes, epoch), tuple_bytes)
+            .ok();
         counters_.tuples_stored += 1;
       }
       ChargeCpu(costs.tuple_write_us * static_cast<double>(n));
@@ -235,15 +265,17 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       return;
     }
     case kPutPage: {
+      // The body after the request id IS the stored record: validate with a
+      // full decode, then store the raw wire bytes — no re-encode.
+      std::string_view page_bytes = r->RemainingView();
       Page page;
-      if (!Page::DecodeFrom(r, &page).ok()) {
+      if (!Page::DecodeFrom(r, &page).ok() || !r->AtEnd()) {
         Respond(from, req_id, Status::Corruption("bad page"), {});
         return;
       }
-      Writer w;
-      page.EncodeTo(&w);
       const PageId& id = page.desc.id;
-      store_.Put(keys::PageRec(id.relation, id.epoch, id.partition), w.data()).ok();
+      store_.Put(keys::PageRec(id.relation, id.epoch, id.partition), page_bytes)
+          .ok();
       counters_.pages_stored += 1;
       ChargeCpu(costs.index_entry_us * static_cast<double>(page.ids.size()));
       // Inverse node bookkeeping: latest page for this partition (§IV).
@@ -257,14 +289,14 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       return;
     }
     case kPutCoordinator: {
+      // As with kPutPage: validate with a full decode, store the wire bytes.
+      std::string_view rec_bytes = r->RemainingView();
       CoordinatorRecord rec;
-      if (!CoordinatorRecord::DecodeFrom(r, &rec).ok()) {
+      if (!CoordinatorRecord::DecodeFrom(r, &rec).ok() || !r->AtEnd()) {
         Respond(from, req_id, Status::Corruption("bad coordinator record"), {});
         return;
       }
-      Writer w;
-      rec.EncodeTo(&w);
-      store_.Put(keys::Coord(rec.relation, rec.epoch), w.data()).ok();
+      store_.Put(keys::Coord(rec.relation, rec.epoch), rec_bytes).ok();
       counters_.coordinators_stored += 1;
       Respond(from, req_id, Status::OK(), {});
       return;
@@ -305,17 +337,17 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       return;
     }
     case kGetTuple: {
-      std::string rel;
+      // The stored bytes are already the encoded tuple: respond with them
+      // directly instead of decode + re-encode.
+      std::string_view rel;
       TupleId id;
-      if (!r->GetString(&rel).ok() || !TupleId::DecodeFrom(r, &id).ok()) return;
-      auto t = ReadTupleLocal(rel, id);
+      if (!r->GetStringView(&rel).ok() || !TupleId::DecodeFrom(r, &id).ok()) return;
+      auto bytes = ReadTupleBytesLocal(rel, id);
       ChargeCpu(costs.tuple_scan_us);
-      if (!t.ok()) {
-        Respond(from, req_id, t.status(), {});
+      if (!bytes.ok()) {
+        Respond(from, req_id, bytes.status(), {});
       } else {
-        Writer w;
-        EncodeTuple(t.value(), &w);
-        Respond(from, req_id, Status::OK(), w.Release());
+        Respond(from, req_id, Status::OK(), std::string(bytes.value()));
       }
       return;
     }
@@ -323,8 +355,8 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       uint64_t n;
       if (!r->GetVarint64(&n).ok()) return;
       for (uint64_t i = 0; i < n; ++i) {
-        std::string key, value;
-        if (!r->GetString(&key).ok() || !r->GetString(&value).ok()) return;
+        std::string_view key, value;
+        if (!r->GetStringView(&key).ok() || !r->GetStringView(&value).ok()) return;
         if (!store_.Contains(key)) store_.Put(key, value).ok();
         if (!key.empty() && key[0] == 'M') {
           Reader cr(value);
@@ -367,28 +399,35 @@ void StorageService::HandleScanPage(net::NodeId from, Reader* r, uint64_t req_id
   ChargeCpu(host_->network()->costs().index_entry_us *
             static_cast<double>(page->ids.size()));
 
-  // Group surviving tuple ids by their data storage node (Algorithm 1 line 8).
-  auto def = Relation(rel);
-  if (!def.ok()) {
-    Respond(from, req_id, def.status(), {});
+  // Group surviving tuple ids by their data storage node (Algorithm 1 line
+  // 8), routing on the hashes carried in the page — no SHA-1 per id.
+  if (FindRelation(rel) == nullptr) {
+    Respond(from, req_id, Status::NotFound("no relation " + rel), {});
     return;
   }
-  std::map<net::NodeId, std::vector<const TupleId*>> by_owner;
-  for (const TupleId& id : page->ids) {
-    if (!filter.Matches(id.key_bytes)) continue;
-    net::NodeId owner = board_->current.OwnerOf(PlacementHash(*def, id.key_bytes));
-    by_owner[owner].push_back(&id);
+  std::map<net::NodeId, std::vector<size_t>> by_owner;
+  for (size_t i = 0; i < page->ids.size(); ++i) {
+    if (!filter.Matches(page->ids[i].key_bytes)) continue;
+    net::NodeId owner = board_->current.OwnerOf(page->hashes[i]);
+    by_owner[owner].push_back(i);
   }
 
   uint64_t total_ids = 0;
-  for (auto& [owner, ids] : by_owner) {
+  std::string hb;  // reused 20-byte scratch: no per-id allocation
+  for (auto& [owner, idxs] : by_owner) {
     Writer w;
     w.PutU64(scan_id);
     w.PutU32(requester);
     w.PutString(rel);
-    w.PutVarint64(ids.size());
-    for (const TupleId* id : ids) id->EncodeTo(&w);
-    total_ids += ids.size();
+    w.PutVarint64(idxs.size());
+    for (size_t i : idxs) {
+      // hash(20B BE) + TupleId: the data node splices these into its keys.
+      hb.clear();
+      page->hashes[i].AppendBigEndian(&hb);
+      w.PutRaw(hb.data(), hb.size());
+      page->ids[i].EncodeTo(&w);
+    }
+    total_ids += idxs.size();
     SendOneWay(owner, kFetchTuples, w.Release());
   }
 
@@ -414,14 +453,20 @@ void StorageService::HandleFetchTuples(net::NodeId from, Reader* r) {
   Writer missing;
   uint64_t rows_n = 0, missing_n = 0;
   for (uint64_t i = 0; i < n; ++i) {
-    TupleId id;
-    if (!TupleId::DecodeFrom(r, &id).ok()) return;
-    auto t = ReadTupleLocal(rel, id);
-    if (t.ok()) {
-      EncodeTuple(t.value(), &rows);
+    std::string_view hash_be20, key_bytes;
+    uint64_t epoch;
+    if (!r->GetRawView(&hash_be20, 20).ok() ||
+        !r->GetStringView(&key_bytes).ok() || !r->GetVarint64(&epoch).ok()) {
+      return;
+    }
+    // The stored bytes ARE the encoded tuple: splice them into the reply
+    // without decode/re-encode, keyed by the wire-carried hash (no SHA-1).
+    auto bytes = ReadTupleBytesRaw(rel, hash_be20, key_bytes, epoch);
+    if (bytes.ok()) {
+      rows.PutRaw(bytes.value().data(), bytes.value().size());
       ++rows_n;
     } else {
-      id.EncodeTo(&missing);
+      TupleId{std::string(key_bytes), epoch}.EncodeTo(&missing);
       ++missing_n;
     }
   }

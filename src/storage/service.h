@@ -34,9 +34,14 @@ struct SnapshotBoard {
 };
 
 /// Storage protocol message codes (service kStorage).
+///
+/// The publish-path bodies (kPutTuples, kFetchTuples) carry each tuple's
+/// placement hash in 20-byte big-endian wire form, computed once by the
+/// publisher; receivers splice it straight into their localstore keys and
+/// never recompute SHA-1.
 enum StorageCode : uint16_t {
   kCatalogAdd = 1,
-  kPutTuples = 2,
+  kPutTuples = 2,  // rel, n, then per tuple: hash(20B BE), key, epoch, bytes
   kPutPage = 3,
   kPutCoordinator = 4,
   kGetCoordinator = 5,
@@ -78,12 +83,25 @@ class StorageService : public net::Service {
 
   // --- Local (same-node) API, used by the query engine and tests ----------
   void AddRelationLocal(const RelationDef& def);
-  Result<RelationDef> Relation(const std::string& name) const;
+  Result<RelationDef> Relation(std::string_view name) const;
+  /// Zero-copy catalog lookup for hot paths: no RelationDef copy. The
+  /// pointer is valid until the catalog entry is replaced.
+  const RelationDef* FindRelation(std::string_view name) const;
   std::vector<std::string> RelationNames() const;
   Result<CoordinatorRecord> ReadCoordinatorLocal(const std::string& rel, Epoch e) const;
   Result<Page> ReadPageLocal(const PageId& id) const;
   Result<PageId> ReadInverseLocal(const std::string& rel, uint32_t partition) const;
   Result<Tuple> ReadTupleLocal(const std::string& rel, const TupleId& id) const;
+  /// Zero-copy read of one tuple version's stored (encoded) bytes; computes
+  /// the placement hash. The view is valid until the next store mutation.
+  Result<std::string_view> ReadTupleBytesLocal(std::string_view rel,
+                                               const TupleId& id) const;
+  /// Same, with the placement hash supplied in its 20-byte big-endian wire
+  /// form (as carried by kPutTuples/kFetchTuples/kQueryFetch) — no SHA-1.
+  Result<std::string_view> ReadTupleBytesRaw(std::string_view rel,
+                                             std::string_view hash_be20,
+                                             std::string_view key_bytes,
+                                             Epoch epoch) const;
   /// Single ordered pass over the page's hash range, yielding tuples present
   /// in the page. Ids in the page but missing locally are appended to
   /// `missing` (stale replica). CPU is charged per record scanned.
@@ -181,7 +199,8 @@ class StorageService : public net::Service {
   int replication_;
   net::RpcClient rpc_;
   localstore::LocalStore store_;
-  std::map<std::string, RelationDef> catalog_;
+  // std::less<> enables string_view lookups without temporary strings.
+  std::map<std::string, RelationDef, std::less<>> catalog_;
   uint64_t next_scan_id_ = 1;
   std::unordered_map<uint64_t, ScanState> scans_;
   Counters counters_;

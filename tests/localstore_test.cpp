@@ -2,6 +2,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "localstore/local_store.h"
@@ -137,6 +138,138 @@ TEST(LocalStore, StatsTrackOperations) {
   EXPECT_EQ(store.stats().deletes, 1u);
   EXPECT_EQ(store.stats().live_records, 0u);
 }
+
+TEST(LocalStore, GetViewIsZeroCopyAndMatchesGet) {
+  LocalStore store;
+  store.Put("k1", "value-one").ok();
+  store.Put("k2", std::string(2048, 'z')).ok();
+  auto v1 = store.GetView("k1");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, "value-one");
+  EXPECT_EQ(*store.Get("k2"), *store.GetView("k2"));
+  EXPECT_TRUE(store.GetView("absent").status().IsNotFound());
+  // The view aliases the stored record: stable across reads.
+  auto again = store.GetView("k1");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(v1->data(), again->data());
+}
+
+TEST(LocalStore, PrefixUpperBoundComputation) {
+  EXPECT_EQ(LocalStore::PrefixUpperBound("abc"), "abd");
+  EXPECT_EQ(LocalStore::PrefixUpperBound(""), "");
+  std::string ff2("\xff\xff", 2);
+  EXPECT_EQ(LocalStore::PrefixUpperBound(ff2), "");
+  std::string aff("a\xff", 2);
+  EXPECT_EQ(LocalStore::PrefixUpperBound(aff), "b");
+}
+
+TEST(LocalStore, SeekPrefixStopsAtComputedEndBound) {
+  LocalStore store;
+  // "x0" sorts immediately after every "x/..." key; without a real end
+  // bound the iterator would run into it.
+  store.Put("x/a", "1").ok();
+  store.Put("x/b", "2").ok();
+  store.Put("x0", "3").ok();
+  store.Put("y", "4").ok();
+  std::vector<std::string> seen;
+  for (auto it = store.SeekPrefix("x/"); it.Valid(); it.Next()) {
+    seen.push_back(std::string(it.key()));
+  }
+  EXPECT_EQ(seen, (std::vector<std::string>{"x/a", "x/b"}));
+}
+
+TEST(LocalStore, SeekPrefixAllFfPrefixRunsToEnd) {
+  LocalStore store;
+  std::string hi("\xff\xff", 2);
+  store.Put(hi + "a", "1").ok();
+  store.Put("a", "2").ok();
+  int n = 0;
+  for (auto it = store.SeekPrefix(hi); it.Valid(); it.Next()) ++n;
+  EXPECT_EQ(n, 1);
+}
+
+TEST(LocalStore, StatsReadCountingOnConstStore) {
+  LocalStore store;
+  store.Put("a", "1").ok();
+  const LocalStore& cref = store;
+  cref.Get("a").ok();
+  cref.GetView("a").ok();
+  cref.Get("missing").ok();
+  EXPECT_EQ(cref.stats().gets, 3u);
+}
+
+// Property test: Put/Delete/Compact/Recover round-trip equivalence against a
+// model map, including prefix-scan bounds, under aggressive compaction.
+class LocalStoreProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LocalStoreProperty, EquivalentToModelUnderChurn) {
+  LocalStore store(StoreOptions{0.25, 128});
+  std::map<std::string, std::string> model;
+  Rng rng(GetParam() * 7919 + 13);
+  const std::vector<std::string> prefixes = {"D/r1/", "D/r2/", "P/", "C/", ""};
+  for (int op = 0; op < 8000; ++op) {
+    const std::string& prefix = prefixes[rng.Uniform(prefixes.size())];
+    std::string k = prefix + std::to_string(rng.Uniform(300));
+    if (k.empty()) k = "fallback";
+    switch (rng.Uniform(8)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {
+        std::string v = rng.AlphaString(1 + rng.Uniform(64));
+        ASSERT_TRUE(store.Put(k, v).ok());
+        model[k] = v;
+        break;
+      }
+      case 4:
+      case 5:
+        ASSERT_TRUE(store.Delete(k).ok());
+        model.erase(k);
+        break;
+      case 6:
+        store.Compact();
+        break;
+      case 7:
+        ASSERT_TRUE(store.Recover().ok());
+        break;
+    }
+    if (op % 997 == 0) {
+      // Full ordered sweep matches the model exactly.
+      auto it = store.Seek("");
+      for (const auto& [mk, mv] : model) {
+        ASSERT_TRUE(it.Valid());
+        ASSERT_EQ(it.key(), mk);
+        ASSERT_EQ(it.value(), mv);
+        it.Next();
+      }
+      ASSERT_FALSE(it.Valid());
+    }
+  }
+  ASSERT_EQ(store.entry_count(), model.size());
+  // Point lookups: Get, GetView, Contains agree with the model.
+  for (const auto& [mk, mv] : model) {
+    ASSERT_TRUE(store.Contains(mk));
+    ASSERT_EQ(*store.Get(mk), mv);
+    ASSERT_EQ(*store.GetView(mk), mv);
+  }
+  // Prefix scans honor the computed bounds for every prefix family.
+  for (const std::string& prefix : prefixes) {
+    std::vector<std::string> got;
+    for (auto it = store.SeekPrefix(prefix); it.Valid(); it.Next()) {
+      got.push_back(std::string(it.key()));
+    }
+    std::vector<std::string> expect;
+    for (const auto& [mk, mv] : model) {
+      if (mk.compare(0, prefix.size(), prefix) == 0) expect.push_back(mk);
+    }
+    ASSERT_EQ(got, expect) << "prefix '" << prefix << "'";
+  }
+  // A final Recover after heavy churn reports a consistent log.
+  ASSERT_TRUE(store.Recover().ok());
+  ASSERT_EQ(store.entry_count(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalStoreProperty, ::testing::Values(1, 2, 3, 4));
 
 class LocalStoreFuzz : public ::testing::TestWithParam<uint64_t> {};
 

@@ -127,6 +127,7 @@ TEST(Page, EncodeDecodeRoundTrip) {
   page.desc.id = PageId{"R", 3, 2};
   page.desc.num_partitions = 8;
   page.ids = {{"k1", 1}, {"k2", 3}};
+  page.hashes = {TupleKeyHash("k1"), TupleKeyHash("k2")};
   Writer w;
   page.EncodeTo(&w);
   Reader r(w.data());
@@ -134,6 +135,7 @@ TEST(Page, EncodeDecodeRoundTrip) {
   ASSERT_TRUE(Page::DecodeFrom(&r, &back).ok());
   EXPECT_EQ(back.desc, page.desc);
   EXPECT_EQ(back.ids, page.ids);
+  EXPECT_EQ(back.hashes, page.hashes);
 }
 
 TEST(CoordinatorRecordTest, EncodeDecodeRoundTrip) {
@@ -402,6 +404,94 @@ TEST_F(StorageClusterTest, UpdatesReplaceWithinEpochBatch) {
   ASSERT_TRUE(rows.ok());
   ASSERT_EQ(rows->size(), 1u);
   EXPECT_EQ((*rows)[0][1], Value(std::string("second")));
+}
+
+// ---------------------------------------------------------------------------
+// Hash-cache invariants of the publish pipeline
+
+// Every page stored anywhere in the cluster for (rel, epoch): read the
+// coordinator record from whichever node holds it, then each page from
+// whichever node holds that.
+std::vector<Page> AllPagesAt(deploy::Deployment& dep, const std::string& rel,
+                             Epoch epoch) {
+  std::vector<Page> pages;
+  for (size_t c = 0; c < dep.size(); ++c) {
+    auto rec = dep.storage(c).ReadCoordinatorLocal(rel, epoch);
+    if (!rec.ok()) continue;
+    for (const PageDescriptor& d : rec->pages) {
+      for (size_t n = 0; n < dep.size(); ++n) {
+        auto page = dep.storage(n).ReadPageLocal(d.id);
+        if (page.ok()) {
+          pages.push_back(std::move(page).value());
+          break;
+        }
+      }
+    }
+    break;
+  }
+  return pages;
+}
+
+TEST_F(StorageClusterTest, PublishedPageHashesMatchFreshPlacementHash) {
+  RelationDef def = SimpleRelation("R");
+  ASSERT_TRUE(dep->CreateRelation(0, def).ok());
+  UpdateBatch batch;
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    batch["R"].push_back(
+        Update::Insert(Row("key-" + std::to_string(i), rng.AlphaString(12))));
+  }
+  auto epoch = dep->Publish(0, std::move(batch));
+  ASSERT_TRUE(epoch.ok());
+
+  std::vector<Page> pages = AllPagesAt(*dep, "R", *epoch);
+  ASSERT_FALSE(pages.empty());
+  size_t checked = 0;
+  for (const Page& page : pages) {
+    ASSERT_EQ(page.hashes.size(), page.ids.size());
+    for (size_t i = 0; i < page.ids.size(); ++i) {
+      EXPECT_EQ(page.hashes[i], PlacementHash(def, page.ids[i].key_bytes))
+          << "page " << page.desc.id.ToString() << " id " << i;
+      ++checked;
+      // Pages must stay sorted by (hash, key) for the single-pass scan.
+      if (i > 0) {
+        EXPECT_LE(page.hashes[i - 1], page.hashes[i]);
+      }
+    }
+  }
+  EXPECT_EQ(checked, 200u);
+}
+
+TEST_F(StorageClusterTest, Sha1ComputedOncePerTuplePerPublish) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+
+  // Fresh inserts: exactly one TupleKeyHash per update, across the
+  // publisher AND every kPutTuples/kPutPage receiver in the cluster.
+  UpdateBatch first;
+  for (int i = 0; i < 150; ++i) {
+    first["R"].push_back(Update::Insert(Row("k" + std::to_string(i), "v")));
+  }
+  uint64_t before = TupleKeyHashCount();
+  ASSERT_TRUE(dep->Publish(0, std::move(first)).ok());
+  EXPECT_EQ(TupleKeyHashCount() - before, 150u);
+
+  // Overwrites of existing keys: carried-forward page entries reuse their
+  // stored hashes, so the count is again exactly the update count.
+  UpdateBatch second;
+  for (int i = 0; i < 40; ++i) {
+    second["R"].push_back(Update::Insert(Row("k" + std::to_string(i), "w")));
+  }
+  before = TupleKeyHashCount();
+  ASSERT_TRUE(dep->Publish(0, std::move(second)).ok());
+  EXPECT_EQ(TupleKeyHashCount() - before, 40u);
+
+  // The distributed scan path routes on page-carried hashes end to end:
+  // zero SHA-1 tuple hashes for a full retrieve.
+  before = TupleKeyHashCount();
+  auto rows = dep->Retrieve(1, "R", 2);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 150u);
+  EXPECT_EQ(TupleKeyHashCount() - before, 0u);
 }
 
 }  // namespace
