@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 build + full test suite, the sanitizer suite with leak
-# detection on the layers that own async RPC state, and a bench smoke run
-# that validates the BENCH_*.json perf-tracking output.
+# detection on the layers that own async RPC state, a bench smoke run that
+# validates the BENCH_*.json perf-tracking output, and a perf-trajectory
+# diff of fresh BENCH_*.json against the committed bench/results/ baselines.
 #
 #   ci/check.sh            # all stages
 #   ci/check.sh tier1      # just the tier-1 verify command
 #   ci/check.sh sanitize   # just the ASan/UBSan/LSan stage
 #   ci/check.sh bench      # just the bench JSON smoke stage
+#   ci/check.sh benchdiff  # just the perf-regression diff stage
+#
+# ORCHESTRA_BENCH_TOLERANCE (default 0.35): a fresh entry fails the diff when
+# its ops_per_sec drops below tolerance * committed — generous because wall
+# clock varies across machines; deterministic sim metrics use tight bounds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,11 +63,72 @@ print(f"bench smoke OK: {len(doc['entries'])} entries validated")
 PY
 }
 
+bench_diff() {
+  echo "== bench diff: fresh BENCH_*.json vs committed bench/results/ baselines"
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target bench_micro_substrate \
+        bench_sustained_churn bench_fig07_09_stb_nodes
+  (cd build && ORCHESTRA_BENCH_SMOKE=1 ./bench_micro_substrate > /dev/null)
+  (cd build && ./bench_sustained_churn > /dev/null)
+  (cd build && ./bench_fig07_09_stb_nodes > /dev/null)
+  python3 - <<'PY'
+import glob, json, os, sys
+
+tol = float(os.environ.get("ORCHESTRA_BENCH_TOLERANCE", "0.35"))
+failures = []
+compared = 0
+skipped = []
+for ref_path in sorted(glob.glob("bench/results/BENCH_*.json")):
+    if ".before." in ref_path:
+        continue
+    fresh_path = os.path.join("build", os.path.basename(ref_path))
+    if not os.path.exists(fresh_path):
+        # Baseline committed but its bench is not part of this stage's run
+        # set; say so instead of silently claiming coverage.
+        skipped.append(os.path.basename(ref_path))
+        continue
+    ref = json.load(open(ref_path))
+    fresh = json.load(open(fresh_path))
+    fresh_entries = {e["name"]: e for e in fresh["entries"]}
+    for re_ in ref["entries"]:
+        if re_["name"] == "sink_checksum":
+            continue  # anti-DCE artifact, not a throughput metric
+        fe = fresh_entries.get(re_["name"])
+        if fe is None:
+            failures.append(f"{ref['bench']}/{re_['name']}: entry disappeared")
+            continue
+        compared += 1
+        # Wall-clock throughput: generous tolerance (machine-dependent).
+        if re_["ops_per_sec"] > 0 and fe["ops_per_sec"] < tol * re_["ops_per_sec"]:
+            failures.append(
+                f"{ref['bench']}/{re_['name']}: ops_per_sec "
+                f"{fe['ops_per_sec']:.3g} < {tol} * committed {re_['ops_per_sec']:.3g}")
+        # Deterministic-sim storage metric: GC must keep the footprint flat.
+        if re_["name"] == "sustained_overwrite_gc_on" and "live_records" in re_:
+            if fe.get("live_records", 1e18) > 1.3 * re_["live_records"]:
+                failures.append(
+                    f"{ref['bench']}/{re_['name']}: live_records "
+                    f"{fe.get('live_records')} > 1.3 * committed {re_['live_records']}")
+if compared == 0:
+    failures.append("no bench entries compared - baselines or fresh runs missing")
+if failures:
+    print("bench diff FAILED:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+msg = f"bench diff OK: {compared} entries within tolerance"
+if skipped:
+    msg += f" (baselines not run this stage: {', '.join(skipped)})"
+print(msg)
+PY
+}
+
 case "$stage" in
   tier1) tier1 ;;
   sanitize) sanitize ;;
   bench) bench_smoke ;;
-  all) tier1; sanitize; bench_smoke ;;
-  *) echo "usage: ci/check.sh [tier1|sanitize|bench|all]" >&2; exit 2 ;;
+  benchdiff) bench_diff ;;
+  all) tier1; sanitize; bench_smoke; bench_diff ;;
+  *) echo "usage: ci/check.sh [tier1|sanitize|bench|benchdiff|all]" >&2; exit 2 ;;
 esac
 echo "== all checks passed"

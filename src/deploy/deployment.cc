@@ -27,9 +27,10 @@ Deployment::Deployment(DeploymentOptions options)
     gossip_.push_back(std::make_unique<overlay::GossipService>(
         hosts_.back().get(), everyone, options_.seed + i, options_.gossip_interval_us));
     storage_.push_back(std::make_unique<storage::StorageService>(
-        hosts_.back().get(), board_, options_.replication));
+        hosts_.back().get(), board_, options_.replication, options_.store));
     publishers_.push_back(std::make_unique<storage::Publisher>(
         storage_.back().get(), gossip_.back().get()));
+    publishers_.back()->set_gc_keep_epochs(options_.gc_keep_epochs);
     query_.push_back(std::make_unique<query::QueryService>(
         hosts_.back().get(), storage_.back().get(), gossip_.back().get(), board_));
     if (options_.start_gossip) gossip_.back()->Start();
@@ -38,7 +39,7 @@ Deployment::Deployment(DeploymentOptions options)
 
 Deployment::~Deployment() = default;
 
-void Deployment::KillNode(net::NodeId node, bool update_routing) {
+void Deployment::KillNode(net::NodeId node, bool update_routing, bool rebalance) {
   network_.KillNode(node);
   if (update_routing) {
     ring_.Leave(node);
@@ -49,6 +50,47 @@ void Deployment::KillNode(net::NodeId node, bool update_routing) {
   // releases that state now — without invoking callbacks, since nothing may
   // execute on a halted node — instead of holding it until teardown.
   hosts_[node]->FailSelf();
+  if (update_routing && rebalance) {
+    for (auto& svc : storage_) {
+      if (network_.IsAlive(svc->node())) svc->RebalanceTo(board_->current);
+    }
+  }
+}
+
+void Deployment::RestartNode(net::NodeId node) {
+  if (network_.IsAlive(node)) return;
+  network_.ReviveNode(node);
+  if (!ring_.IsMember(node)) ring_.Join(node, network_.NodeName(node));
+  board_->current = ring_.TakeSnapshot();
+
+  // Crash-restart: the record log survived, the in-memory indexes did not.
+  Status rec = storage_[node]->store().Recover();
+  ORC_CHECK(rec.ok(), "restart recovery failed");
+  storage_[node]->OnRestart();
+
+  // Re-seed every node's gossip peer list (drop notices pruned the returnee
+  // from the survivors' lists and vice versa).
+  std::vector<net::NodeId> everyone;
+  for (const auto& m : board_->current.members()) everyone.push_back(m.node);
+  for (size_t i = 0; i < gossip_.size(); ++i) {
+    if (network_.IsAlive(static_cast<net::NodeId>(i))) {
+      gossip_[i]->ResetPeers(everyone);
+    }
+  }
+
+  // Both directions of catch-up: survivors push what the returnee missed,
+  // the returnee re-serves what the new table assigns elsewhere.
+  for (auto& svc : storage_) {
+    if (network_.IsAlive(svc->node())) svc->RebalanceTo(board_->current);
+  }
+}
+
+size_t Deployment::AliveCount() const {
+  size_t n = 0;
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    if (network_.IsAlive(static_cast<net::NodeId>(i))) ++n;
+  }
+  return n;
 }
 
 size_t Deployment::PendingRpcCount() const {
@@ -69,7 +111,7 @@ net::NodeId Deployment::AddNode() {
   gossip_.push_back(std::make_unique<overlay::GossipService>(
       hosts_.back().get(), everyone, options_.seed + id, options_.gossip_interval_us));
   storage_.push_back(std::make_unique<storage::StorageService>(
-      hosts_.back().get(), board_, options_.replication));
+      hosts_.back().get(), board_, options_.replication, options_.store));
   publishers_.push_back(std::make_unique<storage::Publisher>(
       storage_.back().get(), gossip_.back().get()));
   query_.push_back(std::make_unique<query::QueryService>(

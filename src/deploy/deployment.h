@@ -30,6 +30,15 @@ struct DeploymentOptions {
   /// epoch counter still works, it just doesn't spread in the background).
   bool start_gossip = false;
   sim::SimTime gossip_interval_us = 500 * sim::kMicrosPerMilli;
+  /// Multi-epoch GC: after each successful publish the publisher advertises
+  /// a low-watermark of (new epoch - gc_keep_epochs) and storage nodes retire
+  /// superseded versions below it. 0 keeps every epoch forever (the seed
+  /// behavior); retrievals are then valid at any epoch instead of only
+  /// [watermark, current].
+  uint64_t gc_keep_epochs = 0;
+  /// Per-node LocalStore tuning (compaction thresholds); harnesses lower the
+  /// compaction floor so small stores still exercise the GC->compact path.
+  localstore::StoreOptions store;
 };
 
 class Deployment {
@@ -54,11 +63,26 @@ class Deployment {
 
   /// Kills the node (fail-stop) and, if `update_routing`, rebuilds the
   /// current routing table without it (queries keep their own snapshots).
-  void KillNode(net::NodeId node, bool update_routing = true);
+  /// With `rebalance`, surviving nodes re-replicate to the new table — under
+  /// the balanced scheme a membership change shifts every range, so without
+  /// it records whose whole replica set moved become unreachable.
+  void KillNode(net::NodeId node, bool update_routing = true,
+                bool rebalance = false);
 
   /// Adds a fresh node to the ring, updates the routing table, and triggers
   /// background re-replication from existing nodes.
   net::NodeId AddNode();
+
+  /// Restarts a previously killed node: it rejoins the ring with its durable
+  /// store (indexes rebuilt via LocalStore::Recover, epoch bookkeeping via
+  /// StorageService::OnRestart), every node's gossip peer list is re-seeded,
+  /// and all live nodes re-replicate toward the new routing table so the
+  /// returnee both catches up on missed writes and re-serves its own.
+  void RestartNode(net::NodeId node);
+
+  /// Live-node count / liveness passthroughs for harnesses.
+  bool IsAlive(net::NodeId node) const { return network_.IsAlive(node); }
+  size_t AliveCount() const;
 
   /// Highest epoch any live node has gossiped (deterministic alternative to
   /// waiting for gossip convergence in tests/harnesses).

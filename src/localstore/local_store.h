@@ -143,9 +143,18 @@ class LocalStore {
   static std::string PrefixUpperBound(std::string_view prefix);
 
   size_t entry_count() const { return hcount_; }
+  /// Records currently in the log, live + dead (shrinks on compaction).
+  size_t log_size() const { return log_.size(); }
   const StoreStats& stats() const { return stats_; }
   /// Bytes currently held by the record arena (live + garbage).
   size_t arena_bytes() const { return arena_.bytes(); }
+  /// Fraction of log records that are dead (superseded or deleted); the churn
+  /// harness asserts this stays below the compaction threshold plus slack.
+  double dead_fraction() const {
+    return log_.empty()
+               ? 0.0
+               : 1.0 - static_cast<double>(hcount_) / static_cast<double>(log_.size());
+  }
 
   /// Discards the indexes and rebuilds them by replaying the log. Verifies
   /// the log-structured invariant; exposed for tests and failure drills.

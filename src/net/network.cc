@@ -70,8 +70,24 @@ void Network::Send(NodeId from, NodeId to, uint32_t type, std::string payload) {
   sim::SimTime tx_start = std::max(initiate, sender.uplink_free);
   sim::SimTime tx_done = tx_start + static_cast<sim::SimTime>(tx_us);
   sender.uplink_free = tx_done;
+  // Fault injection: the seeded stream decides this message's fate. A drop
+  // loses the message downstream of the sender's NIC (uplink time already
+  // spent, nothing reaches the receiver); a delay stretches propagation.
+  sim::SimTime extra_delay = 0;
+  if (fault_opts_.drop_prob > 0 &&
+      fault_rng_.NextDouble() < fault_opts_.drop_prob) {
+    fault_counters_.dropped += 1;
+    return;
+  }
+  if (fault_opts_.delay_prob > 0 &&
+      fault_rng_.NextDouble() < fault_opts_.delay_prob) {
+    extra_delay = 1 + static_cast<sim::SimTime>(
+                          fault_rng_.Uniform(static_cast<uint64_t>(
+                              std::max<sim::SimTime>(fault_opts_.max_extra_delay_us, 1))));
+    fault_counters_.delayed += 1;
+  }
   // ... propagation ...
-  sim::SimTime arrival = tx_done + lp.latency_us;
+  sim::SimTime arrival = tx_done + lp.latency_us + extra_delay;
   // ... downlink serialization at the receiver. This is what makes a query
   // initiator collecting results from 15 peers a genuine bottleneck (§VI-B).
   NodeState& receiver = nodes_[to];
@@ -157,6 +173,19 @@ void Network::KillNode(NodeId node) {
 }
 
 void Network::HangNode(NodeId node) { nodes_[node].hung = true; }
+
+void Network::ReviveNode(NodeId node) {
+  NodeState& state = nodes_[node];
+  if (state.alive) return;
+  state.alive = true;
+  state.hung = false;
+  state.inbox.clear();
+  // The machine boots "now": its clocks cannot owe time from before death.
+  sim::SimTime now = sim_->now();
+  state.cpu_free = std::max(state.cpu_free, now);
+  state.uplink_free = std::max(state.uplink_free, now);
+  state.downlink_free = std::max(state.downlink_free, now);
+}
 
 void Network::ChargeCpu(NodeId node, double micros) {
   NodeState& state = nodes_[node];

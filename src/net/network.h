@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "hash/hash_id.h"
 #include "sim/cost_model.h"
 #include "sim/simulator.h"
@@ -58,6 +59,20 @@ struct NodeTraffic {
   uint64_t messages_received = 0;
 };
 
+/// Fault-injection mix applied to cross-node messages (local loopback, drop
+/// notices, and node tasks are never perturbed). Decisions are drawn from a
+/// dedicated seeded Rng in Send order, so a run is bit-for-bit reproducible.
+struct FaultOptions {
+  double drop_prob = 0;               // P(message silently lost)
+  double delay_prob = 0;              // P(extra propagation delay)
+  sim::SimTime max_extra_delay_us = 0;  // delay drawn uniform in [1, max]
+};
+
+struct FaultCounters {
+  uint64_t dropped = 0;
+  uint64_t delayed = 0;
+};
+
 /// The simulated network. Owns node state; applications register a
 /// MessageHandler per node.
 class Network {
@@ -90,8 +105,22 @@ class Network {
   /// "Hung" machine (§V-C): stops draining its inbox but connections stay
   /// open, so only application-level pings can detect it.
   void HangNode(NodeId node);
+  /// Restart after a fail-stop kill: the node processes messages again with
+  /// an empty inbox. Everything in flight to it while dead was lost; peers
+  /// reconnect implicitly on the next send.
+  void ReviveNode(NodeId node);
   bool IsAlive(NodeId node) const { return nodes_[node].alive; }
   bool IsHung(NodeId node) const { return nodes_[node].hung; }
+
+  // --- Fault injection ------------------------------------------------------
+  /// Seeds the fault stream; faults stay disabled until SetFaultOptions gives
+  /// non-zero probabilities. Reseeding restarts the stream.
+  void SeedFaults(uint64_t seed) { fault_rng_ = Rng(seed); }
+  /// Swaps the active fault mix (e.g. zeroed at a convergence point). The
+  /// decision stream keeps its position, so toggling is itself deterministic.
+  void SetFaultOptions(FaultOptions opts) { fault_opts_ = opts; }
+  const FaultOptions& fault_options() const { return fault_opts_; }
+  const FaultCounters& fault_counters() const { return fault_counters_; }
 
   /// Charges `micros` of reference-speed CPU to `node` (scaled by its speed).
   /// Must be called from inside a message handler or scheduled node task.
@@ -150,6 +179,9 @@ class Network {
   uint64_t total_bytes_ = 0;
   uint64_t total_messages_ = 0;
   NodeId draining_node_ = kInvalidNode;  // node whose handler is running
+  Rng fault_rng_{0};
+  FaultOptions fault_opts_;
+  FaultCounters fault_counters_;
 };
 
 }  // namespace orchestra::net

@@ -25,6 +25,11 @@ void GossipService::Start() {
 
 void GossipService::AdvanceTo(uint64_t epoch) { epoch_ = std::max(epoch_, epoch); }
 
+void GossipService::ResetPeers(std::vector<net::NodeId> peers) {
+  peers_ = std::move(peers);
+  peers_.erase(std::remove(peers_.begin(), peers_.end(), host_->node()), peers_.end());
+}
+
 void GossipService::Tick() {
   if (!running_) return;
   if (!peers_.empty()) {

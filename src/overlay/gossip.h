@@ -28,6 +28,10 @@ class GossipService : public net::Service {
   /// Local advance (called when this participant publishes a batch).
   void AdvanceTo(uint64_t epoch);
 
+  /// Replaces the peer list (self is filtered out). Membership changes erase
+  /// dropped peers permanently; a restart re-seeds everyone's lists.
+  void ResetPeers(std::vector<net::NodeId> peers);
+
   void OnMessage(net::NodeId from, uint16_t code, const std::string& payload) override;
   void OnConnectionDrop(net::NodeId peer) override;
 

@@ -25,6 +25,8 @@ bool Simulator::Step() {
     ORC_CHECK(ev.at >= now_, "event in the past");
     now_ = ev.at;
     ++fired_;
+    digest_ = (digest_ ^ static_cast<uint64_t>(ev.at)) * 0x100000001b3ull;
+    digest_ = (digest_ ^ ev.id) * 0x100000001b3ull;
     cb();
     return true;
   }

@@ -49,6 +49,10 @@ class Simulator {
   SimTime now() const { return now_; }
   size_t pending_events() const { return callbacks_.size(); }
   uint64_t events_fired() const { return fired_; }
+  /// Running FNV-1a digest of every fired event's (at, id) pair. Two runs of
+  /// the same scenario are event-for-event identical iff their digests match
+  /// at every observation point — the churn harness's determinism check.
+  uint64_t trace_digest() const { return digest_; }
 
  private:
   // The heap orders (at, id) pairs; callbacks live in a side table so that
@@ -68,6 +72,7 @@ class Simulator {
   SimTime now_ = 0;
   EventId next_id_ = 1;
   uint64_t fired_ = 0;
+  uint64_t digest_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
 };
 
 }  // namespace orchestra::sim

@@ -74,4 +74,54 @@ std::string Catalog(std::string_view relation) {
   return k;
 }
 
+// --- Inverse parsers --------------------------------------------------------
+// Built on Reader (the same decoder as the wire formats) for the varint
+// length prefixes; the big-endian integers are key-layout-specific (Reader's
+// fixed-width integers are little-endian) and decoded here.
+
+namespace {
+
+bool ReadEpochBE(Reader* r, Epoch* out) {
+  std::string_view raw;
+  if (!r->GetRawView(&raw, 8).ok()) return false;
+  Epoch e = 0;
+  for (int i = 0; i < 8; ++i) e = (e << 8) | static_cast<unsigned char>(raw[i]);
+  *out = e;
+  return true;
+}
+
+bool ReadU32BE(Reader* r, uint32_t* out) {
+  std::string_view raw;
+  if (!r->GetRawView(&raw, 4).ok()) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | static_cast<unsigned char>(raw[i]);
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool ParseData(std::string_view key, ParsedDataKey* out) {
+  if (key.empty() || key[0] != 'D') return false;
+  Reader r(key.substr(1));
+  return r.GetStringView(&out->relation).ok() &&
+         r.GetRawView(&out->hash_be20, 20).ok() &&
+         r.GetStringView(&out->key_bytes).ok() && ReadEpochBE(&r, &out->epoch) &&
+         r.AtEnd();
+}
+
+bool ParsePageRec(std::string_view key, ParsedPageKey* out) {
+  if (key.empty() || key[0] != 'P') return false;
+  Reader r(key.substr(1));
+  return r.GetStringView(&out->relation).ok() && ReadU32BE(&r, &out->partition) &&
+         ReadEpochBE(&r, &out->epoch) && r.AtEnd();
+}
+
+bool ParseCoord(std::string_view key, ParsedCoordKey* out) {
+  if (key.empty() || key[0] != 'C') return false;
+  Reader r(key.substr(1));
+  return r.GetStringView(&out->relation).ok() && ReadEpochBE(&r, &out->epoch) &&
+         r.AtEnd();
+}
+
 }  // namespace orchestra::storage::keys

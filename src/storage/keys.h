@@ -47,6 +47,34 @@ std::string Coord(std::string_view relation, Epoch epoch);
 /// Catalog entry: 'M' <rel>
 std::string Catalog(std::string_view relation);
 
+// --- Inverse parsers, used by the GC retirement pass --------------------
+// Each returns false on malformed input (wrong tag, truncation, trailing
+// bytes). The parsed views alias `key`.
+
+/// Fields of a data-record key: relation, 20-byte BE hash, key bytes, epoch.
+struct ParsedDataKey {
+  std::string_view relation;
+  std::string_view hash_be20;
+  std::string_view key_bytes;
+  Epoch epoch = 0;
+};
+bool ParseData(std::string_view key, ParsedDataKey* out);
+
+/// Fields of a page-record key: relation, partition, epoch.
+struct ParsedPageKey {
+  std::string_view relation;
+  uint32_t partition = 0;
+  Epoch epoch = 0;
+};
+bool ParsePageRec(std::string_view key, ParsedPageKey* out);
+
+/// Fields of a coordinator-record key: relation, epoch.
+struct ParsedCoordKey {
+  std::string_view relation;
+  Epoch epoch = 0;
+};
+bool ParseCoord(std::string_view key, ParsedCoordKey* out);
+
 }  // namespace orchestra::storage::keys
 
 #endif  // ORCHESTRA_STORAGE_KEYS_H_

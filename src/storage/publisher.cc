@@ -36,8 +36,6 @@ void Publisher::PublishBatch(UpdateBatch batch,
   auto st = std::make_shared<PubState>();
   st->batch = std::move(batch);
   st->cb = std::move(cb);
-  st->base_epoch = gossip_->epoch();
-  st->new_epoch = st->base_epoch + 1;
 
   for (const auto& [rel, updates] : st->batch) {
     if (!service_->Relation(rel).ok()) {
@@ -47,6 +45,73 @@ void Publisher::PublishBatch(UpdateBatch batch,
     (void)updates;
   }
 
+  if (!epoch_discovery_) {
+    st->base_epoch = gossip_->epoch();
+    st->new_epoch = st->base_epoch + 1;
+    BeginPublish(st);
+    return;
+  }
+
+  DiscoverEpoch(st, /*rounds_left=*/2);
+}
+
+void Publisher::DiscoverEpoch(std::shared_ptr<PubState> st, int rounds_left) {
+  // Stage 0: epoch discovery. Every member reports the highest coordinator
+  // epoch it stores; with replication r the newest coordinator record
+  // survives on r nodes, so any surviving replica answers with the true
+  // current epoch even when this node's gossip counter is stale. If more
+  // than one member fails to answer (dead node plus dropped exchanges), the
+  // newest record's holders might all be among the silent — under-discovery
+  // would collide the new epoch with a committed one — so the round is
+  // retried before proceeding best-effort.
+  struct Disc {
+    Epoch max_epoch = 0;
+    size_t outstanding = 0;
+    size_t members = 0;
+    size_t successes = 0;
+    bool started = false;
+  };
+  auto disc = std::make_shared<Disc>();
+  std::vector<net::NodeId> members;
+  for (const auto& m : service_->snapshot().members()) members.push_back(m.node);
+  disc->outstanding = members.size();
+  disc->members = members.size();
+  auto finish_discovery = [this, st, disc, rounds_left]() {
+    if (disc->started) return;
+    disc->started = true;
+    if (disc->members > 0 && disc->members - disc->successes > 1 &&
+        rounds_left > 0) {
+      DiscoverEpoch(st, rounds_left - 1);
+      return;
+    }
+    gossip_->AdvanceTo(disc->max_epoch);
+    st->base_epoch = std::max(gossip_->epoch(), disc->max_epoch);
+    st->new_epoch = st->base_epoch + 1;
+    BeginPublish(st);
+  };
+  if (members.empty()) {
+    finish_discovery();
+    return;
+  }
+  for (net::NodeId m : members) {
+    service_->Call(
+        m, kGetMaxEpoch, {},
+        [disc, finish_discovery](Status s, const std::string& reply) {
+          if (s.ok()) {
+            Reader r(reply);
+            uint64_t e = 0;
+            if (r.GetVarint64(&e).ok()) {
+              disc->max_epoch = std::max<Epoch>(disc->max_epoch, e);
+              disc->successes += 1;
+            }
+          }
+          if (--disc->outstanding == 0) finish_discovery();
+        },
+        kEpochDiscoveryTimeoutUs);
+  }
+}
+
+void Publisher::BeginPublish(std::shared_ptr<PubState> st) {
   // Stage 1: coordinator records of every relation at the base epoch
   // (needed both for the copy-on-write page lookups and for carrying
   // unchanged relations forward to the new epoch).
@@ -57,19 +122,51 @@ void Publisher::PublishBatch(UpdateBatch batch,
     return;
   }
   for (const auto& rel : rels) {
-    service_->GetCoordinator(
-        rel, st->base_epoch, [this, st, rel](Status s, CoordinatorRecord rec) {
-          if (!s.ok() && st->first_error.ok()) st->first_error = s;
-          if (s.ok()) st->records[rel] = std::move(rec);
-          if (--st->outstanding == 0) {
-            if (!st->first_error.ok()) {
-              st->cb(st->first_error, 0);
-              return;
-            }
-            FetchPages(st);
-          }
-        });
+    FetchBaseCoordinator(st, rel, st->base_epoch, /*walk_left=*/16,
+                         /*stall_left=*/2);
   }
+}
+
+void Publisher::FetchBaseCoordinator(std::shared_ptr<PubState> st,
+                                     const std::string& rel, Epoch epoch,
+                                     int walk_left, int stall_left) {
+  service_->GetCoordinator(
+      rel, epoch,
+      [this, st, rel, epoch, walk_left, stall_left](Status s,
+                                                    CoordinatorRecord rec) {
+        if (s.IsNotFound() && epoch > 0 && stall_left > 0) {
+          // Every replica answered, none has the record — but right after a
+          // membership change the record may exist and simply not have
+          // reached the reshuffled replica set yet. Re-fetch the SAME epoch
+          // after a re-replication-sized pause before trusting the hole.
+          // (Delivered as a node task: dies with this node, fail-stop safe.)
+          service_->RunAfter(2 * sim::kMicrosPerSec, [this, st, rel, epoch,
+                                                      walk_left, stall_left] {
+            FetchBaseCoordinator(st, rel, epoch, walk_left, stall_left - 1);
+          });
+          return;
+        }
+        if (s.IsNotFound() && epoch > 0 && walk_left > 0) {
+          // A persistent hole: a torn publish never committed this epoch for
+          // this relation — the newest committed record below it carries the
+          // relation's state forward. Transient failures (timeout, drop,
+          // unreachable replicas) must NOT walk back: the record may exist,
+          // and basing the publish below it would silently drop committed
+          // updates. Those fail the publish; retrying the batch is safe.
+          FetchBaseCoordinator(st, rel, epoch - 1, walk_left - 1,
+                               /*stall_left=*/1);
+          return;
+        }
+        if (!s.ok() && st->first_error.ok()) st->first_error = s;
+        if (s.ok()) st->records[rel] = std::move(rec);
+        if (--st->outstanding == 0) {
+          if (!st->first_error.ok()) {
+            st->cb(st->first_error, 0);
+            return;
+          }
+          FetchPages(st);
+        }
+      });
 }
 
 void Publisher::FetchPages(std::shared_ptr<PubState> st) {
@@ -136,7 +233,7 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
   };
   std::vector<TupleWrite> tuple_writes;
   std::vector<Page> new_pages;
-  std::map<std::string, std::map<uint32_t, bool>> partition_nonempty;
+  auto& partition_nonempty = st->partition_nonempty;
 
   for (PartitionWork& pw : st->parts) {
     const RelationDef* def = service_->FindRelation(pw.relation);
@@ -158,6 +255,17 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
       const std::string& kb = pw.update_keys[j];
       if (u->kind == Update::Kind::kDelete) {
         ids.erase(std::string_view(kb));
+        // Delete tombstone: an empty-value data record at the new epoch. No
+        // page ever lists it; it exists so data-node GC can tell "this key
+        // was deleted at epoch e" apart from "version still live" and
+        // reclaim the dead versions (then the tombstone itself). Writes
+        // preserve batch order, so insert+delete of one key in one batch
+        // resolves to whichever came last.
+        tuple_writes.push_back(TupleWrite{pw.relation,
+                                          TupleId{kb, st->new_epoch},
+                                          std::string(),
+                                          pw.update_hashes[j],
+                                          def->replicate_everywhere});
         continue;
       }
       ids[kb] = {st->new_epoch, &pw.update_hashes[j]};
@@ -199,13 +307,24 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
     new_pages.push_back(std::move(page));
   }
 
-  // Stage 3: issue all writes, then finish.
+  // Stage 3: tuple versions and page versions. Coordinator records — the
+  // commit point — only go out once every write here has succeeded
+  // (WriteCoordinators), so a torn publish can leave orphan tuples/pages at
+  // the uncommitted epoch but never a coordinator record referencing state
+  // that was not fully written. Orphans are overwritten byte-identically
+  // when the publisher retries the batch, and GC retires them eventually.
   st->outstanding = 1;
   auto track = [st](Status s) {
     if (!s.ok() && st->first_error.ok()) st->first_error = s;
   };
   auto dec = [this, st]() {
-    if (--st->outstanding == 0) FinishIfIdle(st);
+    if (--st->outstanding == 0) {
+      if (!st->first_error.ok()) {
+        FinishIfIdle(st);
+      } else {
+        WriteCoordinators(st);
+      }
+    }
   };
 
   const auto& snap = service_->snapshot();
@@ -263,7 +382,21 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
     });
   }
 
-  // 3c: coordinator records for EVERY relation at the new epoch.
+  dec();
+}
+
+void Publisher::WriteCoordinators(std::shared_ptr<PubState> st) {
+  const auto& snap = service_->snapshot();
+  const auto& partition_nonempty = st->partition_nonempty;
+  st->outstanding = 1;
+  auto track = [st](Status s) {
+    if (!s.ok() && st->first_error.ok()) st->first_error = s;
+  };
+  auto dec = [this, st]() {
+    if (--st->outstanding == 0) FinishIfIdle(st);
+  };
+
+  // Commit: coordinator records for EVERY relation at the new epoch.
   for (const auto& rel : service_->RelationNames()) {
     CoordinatorRecord rec;
     rec.relation = rel;
@@ -313,6 +446,17 @@ void Publisher::FinishIfIdle(std::shared_ptr<PubState> st) {
     return;
   }
   gossip_->AdvanceTo(st->new_epoch);
+  // Coordinator role: advertise the GC low-watermark. One-way and
+  // best-effort — a node that misses it catches up on the next publish
+  // (SetGcWatermark re-runs retirement even at an unchanged watermark).
+  if (gc_keep_epochs_ > 0 && st->new_epoch > gc_keep_epochs_) {
+    Epoch w = st->new_epoch - gc_keep_epochs_;
+    Writer ww;
+    ww.PutVarint64(w);
+    for (const auto& m : service_->snapshot().members()) {
+      service_->SendOneWay(m.node, kSetWatermark, ww.data());
+    }
+  }
   st->cb(Status::OK(), st->new_epoch);
 }
 

@@ -49,9 +49,27 @@ class Publisher {
   void CreateRelation(const RelationDef& def, std::function<void(Status)> cb);
 
   /// Publishes `batch` as one new epoch. cb receives the new epoch.
+  ///
+  /// Before anything else the publisher discovers the cluster's current
+  /// epoch by asking every routing-table member for the highest coordinator
+  /// epoch it stores (kGetMaxEpoch) and basing the publish on the max of the
+  /// replies and local gossip — multi-node publishing therefore does not
+  /// depend on gossip convergence (gossip stays off by default in tests).
+  /// A failed publish never advances the epoch, and republishing the same
+  /// batch is idempotent: the retry recomputes the same new epoch and
+  /// rewrites byte-identical records over whatever the first attempt landed.
   void PublishBatch(UpdateBatch batch, std::function<void(Status, Epoch)> cb);
 
   Epoch current_epoch() const { return gossip_->epoch(); }
+
+  /// Epoch-discovery toggle (on by default; off restores gossip-only bases).
+  void set_epoch_discovery(bool on) { epoch_discovery_ = on; }
+
+  /// GC policy: after each successful publish, advertise a low-watermark of
+  /// (new epoch - keep) to every member, retiring superseded versions below
+  /// it. 0 (default) disables GC; retrievals then work at every past epoch.
+  void set_gc_keep_epochs(uint64_t keep) { gc_keep_epochs_ = keep; }
+  uint64_t gc_keep_epochs() const { return gc_keep_epochs_; }
 
  private:
   struct PartitionWork {
@@ -78,15 +96,40 @@ class Publisher {
     size_t outstanding = 0;
     Status first_error;
     std::vector<PartitionWork> parts;
+    // Touched partitions per relation (true = new page version is non-empty),
+    // carried from the data/page stage to the coordinator commit stage.
+    std::map<std::string, std::map<uint32_t, bool>> partition_nonempty;
     bool done = false;
   };
 
+  /// Stage 0: ask every member for its highest stored coordinator epoch;
+  /// re-runs the round (up to `rounds_left`) while more than one member
+  /// failed to answer, since under single-failure assumptions a committed
+  /// record has at least two live replicas — at most one silent member means
+  /// at least one holder of the newest record was heard.
+  void DiscoverEpoch(std::shared_ptr<PubState> st, int rounds_left);
+  void BeginPublish(std::shared_ptr<PubState> st);
+  /// Coordinator fetch with walk-back: a torn earlier publish can leave the
+  /// discovered base epoch without a committed coordinator record for some
+  /// relation; the newest record at-or-below the base is then the relation's
+  /// true committed state. A NotFound is only trusted after `stall_left`
+  /// same-epoch re-fetches spaced apart in time: right after a membership
+  /// change the record may simply not have re-replicated to the new replica
+  /// set yet, and walking back past it would drop committed updates.
+  void FetchBaseCoordinator(std::shared_ptr<PubState> st, const std::string& rel,
+                            Epoch epoch, int walk_left, int stall_left);
   void FetchPages(std::shared_ptr<PubState> st);
   void ApplyAndWrite(std::shared_ptr<PubState> st);
+  /// The commit point: coordinator records are written only after every
+  /// tuple/page write succeeded, so a coordinator record never references
+  /// state that was lost with a failed publish.
+  void WriteCoordinators(std::shared_ptr<PubState> st);
   void FinishIfIdle(std::shared_ptr<PubState> st);
 
   StorageService* service_;
   overlay::GossipService* gossip_;
+  bool epoch_discovery_ = true;
+  uint64_t gc_keep_epochs_ = 0;
 };
 
 }  // namespace orchestra::storage

@@ -25,11 +25,13 @@ Status KeyFilter::DecodeFrom(Reader* r, KeyFilter* out) {
 }
 
 StorageService::StorageService(net::NodeHost* host,
-                               std::shared_ptr<SnapshotBoard> board, int replication)
+                               std::shared_ptr<SnapshotBoard> board, int replication,
+                               localstore::StoreOptions store_options)
     : host_(host),
       board_(std::move(board)),
       replication_(replication),
-      rpc_(host, net::ServiceId::kStorage, kReply) {
+      rpc_(host, net::ServiceId::kStorage, kReply),
+      store_(store_options) {
   host_->Register(net::ServiceId::kStorage, this);
 }
 
@@ -187,6 +189,11 @@ void StorageService::SendOneWay(net::NodeId to, uint16_t code, std::string body)
   host_->SendTo(to, net::ServiceId::kStorage, code, std::move(body));
 }
 
+void StorageService::RunAfter(sim::SimTime delay, std::function<void()> fn) {
+  net::Network* net = host_->network();
+  net->RunOnNode(node(), net->simulator()->now() + delay, std::move(fn));
+}
+
 void StorageService::Respond(net::NodeId to, uint64_t req_id, Status st,
                              std::string body) {
   net::RpcClient::SendReply(host_, to, net::ServiceId::kStorage, kReply, req_id,
@@ -215,6 +222,11 @@ void StorageService::OnMessage(net::NodeId from, uint16_t code,
   }
   if (code == kTupleData) {
     HandleTupleData(from, &r);
+    return;
+  }
+  if (code == kSetWatermark) {
+    uint64_t w;
+    if (r.GetVarint64(&w).ok()) SetGcWatermark(w);
     return;
   }
   uint64_t req_id;
@@ -298,7 +310,14 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       }
       store_.Put(keys::Coord(rec.relation, rec.epoch), rec_bytes).ok();
       counters_.coordinators_stored += 1;
+      max_epoch_seen_ = std::max(max_epoch_seen_, rec.epoch);
       Respond(from, req_id, Status::OK(), {});
+      return;
+    }
+    case kGetMaxEpoch: {
+      Writer w;
+      w.PutVarint64(max_epoch_seen_);
+      Respond(from, req_id, Status::OK(), w.Release());
       return;
     }
     case kGetCoordinator: {
@@ -344,7 +363,10 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       if (!r->GetStringView(&rel).ok() || !TupleId::DecodeFrom(r, &id).ok()) return;
       auto bytes = ReadTupleBytesLocal(rel, id);
       ChargeCpu(costs.tuple_scan_us);
-      if (!bytes.ok()) {
+      // Empty stored bytes are a delete tombstone, never a servable tuple.
+      if (bytes.ok() && bytes.value().empty()) {
+        Respond(from, req_id, Status::NotFound("tuple deleted"), {});
+      } else if (!bytes.ok()) {
         Respond(from, req_id, bytes.status(), {});
       } else {
         Respond(from, req_id, Status::OK(), std::string(bytes.value()));
@@ -362,6 +384,12 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
           Reader cr(value);
           RelationDef def;
           if (RelationDef::DecodeFrom(&cr, &def).ok()) catalog_[def.name] = def;
+        }
+        if (!key.empty() && key[0] == 'C') {
+          keys::ParsedCoordKey ck;
+          if (keys::ParseCoord(key, &ck)) {
+            max_epoch_seen_ = std::max(max_epoch_seen_, ck.epoch);
+          }
         }
       }
       ChargeCpu(costs.tuple_write_us * static_cast<double>(n));
@@ -461,8 +489,9 @@ void StorageService::HandleFetchTuples(net::NodeId from, Reader* r) {
     }
     // The stored bytes ARE the encoded tuple: splice them into the reply
     // without decode/re-encode, keyed by the wire-carried hash (no SHA-1).
+    // Empty bytes are a delete tombstone — report the id missing instead.
     auto bytes = ReadTupleBytesRaw(rel, hash_be20, key_bytes, epoch);
-    if (bytes.ok()) {
+    if (bytes.ok() && !bytes.value().empty()) {
       rows.PutRaw(bytes.value().data(), bytes.value().size());
       ++rows_n;
     } else {
@@ -526,7 +555,11 @@ void StorageService::GetCoordinator(
   rpc_.CallFirst(std::move(replicas), kGetCoordinator, w.Release(),
                  [cb = std::move(cb)](Status st, const std::string& reply) {
                    if (!st.ok()) {
-                     cb(Status::Unavailable("no replica has coordinator record"), {});
+                     // Pass the last replica's error through: NotFound (a live
+                     // replica definitively lacks the record) means something
+                     // different to the publisher's walk-back than a timeout
+                     // or drop does, and must not be flattened away.
+                     cb(st, {});
                      return;
                    }
                    Reader r(reply);
@@ -571,6 +604,10 @@ void StorageService::Retrieve(const std::string& rel, Epoch epoch,
   state.epoch = epoch;
   state.filter = filter;
   state.cb = std::move(cb);
+  state.deadline_event = host_->network()->simulator()->ScheduleAfter(
+      kScanDeadlineUs, [this, scan_id] {
+        ScanFail(scan_id, Status::TimedOut("retrieve scan deadline"));
+      });
   scans_.emplace(scan_id, std::move(state));
 
   GetCoordinator(rel, epoch, [this, scan_id](Status st, CoordinatorRecord rec) {
@@ -710,6 +747,7 @@ void StorageService::ScanCheckDone(uint64_t scan_id) {
   if (state.lookups_outstanding > 0) return;
   RetrieveCallback cb = std::move(state.cb);
   std::vector<Tuple> rows = std::move(state.rows);
+  host_->network()->simulator()->Cancel(state.deadline_event);
   scans_.erase(it);
   cb(Status::OK(), std::move(rows));
 }
@@ -718,6 +756,7 @@ void StorageService::ScanFail(uint64_t scan_id, Status st) {
   auto it = scans_.find(scan_id);
   if (it == scans_.end()) return;
   RetrieveCallback cb = std::move(it->second.cb);
+  host_->network()->simulator()->Cancel(it->second.deadline_event);
   scans_.erase(it);
   cb(st, {});
 }
@@ -795,6 +834,128 @@ void StorageService::RebalanceTo(const overlay::RoutingSnapshot& snap) {
     out.PutRaw(w.data().data(), w.size());
     Call(target, kReplicaPush, out.Release(), [](Status, const std::string&) {});
   }
+}
+
+// --------------------------------------------------------------------------
+// Multi-epoch GC
+
+void StorageService::SetGcWatermark(Epoch w) {
+  if (w < gc_watermark_ || w == 0) return;  // monotonic; 0 disables
+  gc_watermark_ = w;
+  RetireBelowWatermark();
+}
+
+void StorageService::RetireBelowWatermark() {
+  const Epoch w = gc_watermark_;
+  std::vector<std::string> doomed;
+  uint64_t scanned = 0;
+  uint64_t n_coords = 0, n_pages = 0, n_data = 0, n_tombs = 0;
+
+  // Coordinator records: retrieval is supported at epochs [w, current], so
+  // any coordinator record below the watermark is unreachable.
+  for (auto it = store_.SeekPrefix("C"); it.Valid(); it.Next()) {
+    ++scanned;
+    keys::ParsedCoordKey ck;
+    if (!keys::ParseCoord(it.key(), &ck)) continue;
+    if (ck.epoch < w) {
+      doomed.emplace_back(it.key());
+      ++n_coords;
+    }
+  }
+
+  // Page and data records share the layout <group-prefix><epoch:8B BE> and
+  // sort by group then epoch, so one ordered pass sees each group's versions
+  // oldest-first. Within a group, every version at-or-below the watermark is
+  // superseded by the next one at-or-below it; the newest such version is
+  // what the kept coordinators still reference and survives. A data group's
+  // survivor that is a delete tombstone (empty value) is retired too — it
+  // exists only to kill older versions, which are gone once this pass runs.
+  //
+  // Correctness precondition: every version at-or-below the watermark was
+  // referenced by some committed coordinator when written. Torn publishes
+  // keep this locally checkable: coordinator records (the commit point) go
+  // out only after every tuple/page write succeeded, and a failed publish
+  // must be retried with the SAME batch (idempotent overwrite) before
+  // publishing different data — an abandoned batch's orphan versions would
+  // otherwise shadow the committed version the coordinators reference once
+  // the watermark passes them (see ROADMAP: orphan reconciliation).
+  auto sweep_versions = [&](char tag, uint64_t* retired,
+                            bool reap_trailing_tombstone, auto&& epoch_of) {
+    std::string group;          // current group prefix (key minus epoch)
+    std::string best_key;       // newest version <= w seen in this group
+    bool best_is_tombstone = false;
+    auto flush_group = [&] {
+      if (reap_trailing_tombstone && best_is_tombstone && !best_key.empty()) {
+        doomed.push_back(best_key);
+        ++n_tombs;
+      }
+      best_key.clear();
+      best_is_tombstone = false;
+    };
+    for (auto it = store_.SeekPrefix(std::string_view(&tag, 1)); it.Valid();
+         it.Next()) {
+      ++scanned;
+      std::string_view key = it.key();
+      Epoch epoch = 0;
+      if (!epoch_of(key, &epoch)) continue;  // malformed: leave it alone
+      std::string_view prefix = key.substr(0, key.size() - 8);
+      if (prefix != group) {
+        flush_group();
+        group.assign(prefix);
+      }
+      if (epoch > w) continue;
+      if (!best_key.empty()) {
+        doomed.push_back(best_key);
+        if (best_is_tombstone) {
+          ++n_tombs;
+        } else {
+          ++*retired;
+        }
+      }
+      best_key.assign(key);
+      best_is_tombstone = reap_trailing_tombstone && it.value().empty();
+    }
+    flush_group();
+  };
+  sweep_versions('P', &n_pages, /*reap_trailing_tombstone=*/false,
+                 [](std::string_view key, Epoch* e) {
+                   keys::ParsedPageKey pk;
+                   if (!keys::ParsePageRec(key, &pk)) return false;
+                   *e = pk.epoch;
+                   return true;
+                 });
+  sweep_versions('D', &n_data, /*reap_trailing_tombstone=*/true,
+                 [](std::string_view key, Epoch* e) {
+                   keys::ParsedDataKey dk;
+                   if (!keys::ParseData(key, &dk)) return false;
+                   *e = dk.epoch;
+                   return true;
+                 });
+
+  for (const std::string& key : doomed) store_.Delete(key).ok();
+
+  ChargeCpu(host_->network()->costs().tuple_scan_us *
+            static_cast<double>(scanned + doomed.size()));
+  gc_.runs += 1;
+  gc_.retired_coords += n_coords;
+  gc_.retired_pages += n_pages;
+  gc_.retired_data += n_data;
+  gc_.retired_tombstones += n_tombs;
+}
+
+void StorageService::OnRestart() {
+  // The store is durable across a crash; the epoch high-mark is not. Rebuild
+  // it from the surviving coordinator records so epoch discovery stays
+  // truthful. The watermark resets to 0 and is re-learned from the next
+  // advertisement — GC merely lags on a freshly restarted node.
+  max_epoch_seen_ = 0;
+  for (auto it = store_.SeekPrefix("C"); it.Valid(); it.Next()) {
+    keys::ParsedCoordKey ck;
+    if (keys::ParseCoord(it.key(), &ck)) {
+      max_epoch_seen_ = std::max(max_epoch_seen_, ck.epoch);
+    }
+  }
+  gc_watermark_ = 0;
 }
 
 }  // namespace orchestra::storage

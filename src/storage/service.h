@@ -52,8 +52,17 @@ enum StorageCode : uint16_t {
   kFetchTuples = 10,  // Algorithm 1, step 8: index node -> data node
   kTupleData = 11,    // Algorithm 1, step 9: data node -> requester (direct)
   kReplicaPush = 12,  // background re-replication (PAST-style, §III-C)
+  kGetMaxEpoch = 13,  // highest coordinator epoch this node stores
+  kSetWatermark = 14, // one-way: GC low-watermark advertisement
   kReply = 100,       // RPC reply envelope
 };
+
+/// Per-call deadline for epoch discovery: much tighter than the general RPC
+/// deadline so a publish past a dead member stalls seconds, not a minute.
+constexpr sim::SimTime kEpochDiscoveryTimeoutUs = 5 * sim::kMicrosPerSec;
+
+/// Whole-scan deadline for Retrieve: bounds loss of the one-way data legs.
+constexpr sim::SimTime kScanDeadlineUs = 120 * sim::kMicrosPerSec;
 
 /// Sargable filter pushed to index nodes: an inclusive key-bytes range.
 struct KeyFilter {
@@ -74,7 +83,7 @@ class StorageService : public net::Service {
       std::function<void(Status, std::vector<Tuple>)>;
 
   StorageService(net::NodeHost* host, std::shared_ptr<SnapshotBoard> board,
-                 int replication);
+                 int replication, localstore::StoreOptions store_options = {});
 
   net::NodeId node() const { return host_->node(); }
   int replication() const { return replication_; }
@@ -123,6 +132,11 @@ class StorageService : public net::Service {
   /// Fire-and-forget message (no reply expected).
   void SendOneWay(net::NodeId to, uint16_t code, std::string body);
 
+  /// Runs `fn` on this node's simulated thread after `delay`. Delivered as a
+  /// node task, so it is dropped if the node dies before it fires (fail-stop
+  /// safe, unlike a raw simulator event).
+  void RunAfter(sim::SimTime delay, std::function<void()> fn);
+
   /// Outstanding entries in the pending-call table (leak regression hook).
   size_t pending_rpc_count() const { return rpc_.pending_count(); }
   /// Retrieve scans still in flight (leak regression hook).
@@ -148,13 +162,45 @@ class StorageService : public net::Service {
   /// after membership change). Sends batched kReplicaPush messages.
   void RebalanceTo(const overlay::RoutingSnapshot& snap);
 
+  // --- Multi-epoch GC -------------------------------------------------------
+  /// Raises the GC low-watermark and retires superseded versions below it:
+  /// coordinator records with epoch < w, page versions older than their
+  /// partition's newest version at-or-below w, and tuple versions older than
+  /// their key's newest version at-or-below w (plus delete tombstones once
+  /// nothing older survives). Supported retrieval epochs become [w, current].
+  /// Re-advertising the current watermark re-runs retirement, which clears
+  /// records a stale replica push may have resurrected.
+  void SetGcWatermark(Epoch w);
+  Epoch gc_watermark() const { return gc_watermark_; }
+
+  /// Highest epoch of any coordinator record this node has stored; the
+  /// publishers' epoch-discovery RPC (kGetMaxEpoch) reports it.
+  Epoch max_epoch_seen() const { return max_epoch_seen_; }
+
+  /// Crash-restart hook: rebuilds transient epoch bookkeeping from the
+  /// (durable) store after a Recover().
+  void OnRestart();
+
+  struct GcStats {
+    uint64_t runs = 0;
+    uint64_t retired_data = 0;        // superseded tuple versions
+    uint64_t retired_pages = 0;       // superseded page versions
+    uint64_t retired_coords = 0;      // coordinator records below watermark
+    uint64_t retired_tombstones = 0;  // delete markers fully reclaimed
+  };
+  const GcStats& gc_stats() const { return gc_; }
+
   // --- net::Service ----------------------------------------------------------
   void OnMessage(net::NodeId from, uint16_t code, const std::string& payload) override;
   void OnConnectionDrop(net::NodeId peer) override;
   /// Fail-stop death of this node: drop outstanding calls and scans without
-  /// invoking their callbacks — nothing may execute on a halted node.
+  /// invoking their callbacks — nothing may execute on a halted node. Scan
+  /// deadline closures are cancelled eagerly, like resolved RPC deadlines.
   void OnSelfFailed() override {
     rpc_.DropAll();
+    for (auto& [id, scan] : scans_) {
+      host_->network()->simulator()->Cancel(scan.deadline_event);
+    }
     scans_.clear();
   }
 
@@ -180,9 +226,14 @@ class StorageService : public net::Service {
     size_t lookups_outstanding = 0;  // retries of individually missing tuples
     std::vector<Tuple> rows;
     bool failed = false;
+    // Whole-scan deadline: the data legs (kFetchTuples/kTupleData) are
+    // one-way, so a lost message would otherwise leave the scan pending
+    // forever. Resolves the scan with TimedOut; cancelled on completion.
+    sim::Simulator::EventId deadline_event = 0;
   };
 
   void Respond(net::NodeId to, uint64_t req_id, Status st, std::string body);
+  void RetireBelowWatermark();
   void HandleRequest(net::NodeId from, uint16_t code, Reader* r, uint64_t req_id);
   void HandleScanPage(net::NodeId from, Reader* r, uint64_t req_id);
   void HandleFetchTuples(net::NodeId from, Reader* r);
@@ -204,6 +255,9 @@ class StorageService : public net::Service {
   uint64_t next_scan_id_ = 1;
   std::unordered_map<uint64_t, ScanState> scans_;
   Counters counters_;
+  Epoch max_epoch_seen_ = 0;
+  Epoch gc_watermark_ = 0;
+  GcStats gc_;
 };
 
 }  // namespace orchestra::storage

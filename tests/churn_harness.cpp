@@ -1,0 +1,467 @@
+#include "tests/churn_harness.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "deploy/deployment.h"
+#include "storage/publisher.h"
+
+namespace orchestra::churn {
+namespace {
+
+using storage::Epoch;
+using storage::Tuple;
+using storage::Update;
+using storage::UpdateBatch;
+using storage::Value;
+
+constexpr const char* kRelations[] = {"churn_a", "churn_b"};
+constexpr size_t kNumRelations = 2;
+
+/// Key -> payload string; the reference state of one relation.
+using ModelState = std::map<int64_t, std::string>;
+
+storage::RelationDef MakeDef(const std::string& name, uint32_t partitions) {
+  storage::RelationDef def;
+  def.name = name;
+  def.schema = storage::Schema(
+      {{"k", storage::ValueType::kInt64}, {"v", storage::ValueType::kString}},
+      /*key_arity=*/1);
+  def.num_partitions = partitions;
+  return def;
+}
+
+Tuple Row(int64_t k, std::string v) {
+  return Tuple{Value(k), Value(std::move(v))};
+}
+
+/// Everything one churn run owns; RunChurn drives it.
+struct Driver {
+  explicit Driver(const ChurnOptions& o)
+      : opts(o), rng(o.seed), workload_rng(rng.Fork(1)), fault_rng(rng.Fork(2)) {
+    deploy::DeploymentOptions dopts;
+    dopts.num_nodes = o.num_nodes;
+    dopts.replication = o.replication;
+    dopts.seed = o.seed;
+    dopts.gc_keep_epochs = o.gc_keep_epochs;
+    dopts.store.compaction_min_records = o.compaction_min_records;
+    dep = std::make_unique<deploy::Deployment>(dopts);
+    dep->network().SeedFaults(rng.Fork(3).NextU64());
+  }
+
+  const ChurnOptions& opts;
+  Rng rng, workload_rng, fault_rng;
+  std::unique_ptr<deploy::Deployment> dep;
+  ChurnReport report;
+
+  // Reference model: per relation, the current state plus every retained
+  // committed snapshot (pruned below the GC watermark).
+  ModelState current[kNumRelations];
+  std::map<Epoch, ModelState> history[kNumRelations];
+  Epoch committed_epoch = 0;
+  Epoch watermark = 0;
+
+  std::set<net::NodeId> dead;
+  bool failed = false;
+
+  // --- plumbing -------------------------------------------------------------
+
+  void Trace(const char* fmt, ...) {
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    char line[384];
+    std::snprintf(line, sizeof(line), "t=%" PRId64 " dig=%016" PRIx64 " %s\n",
+                  dep->sim().now(), dep->sim().trace_digest(), buf);
+    report.trace += line;
+  }
+
+  bool Fail(const std::string& what) {
+    if (failed) return false;
+    failed = true;
+    report.ok = false;
+    report.failure =
+        "churn[seed=" + std::to_string(opts.seed) + "] " + what +
+        " (rerun RunChurn with this seed to replay the identical trace)";
+    report.trace += "FAIL " + what + "\n";
+    return false;
+  }
+
+  net::NodeId RandomLive(Rng& r) {
+    std::vector<net::NodeId> live;
+    for (size_t i = 0; i < dep->size(); ++i) {
+      if (dep->IsAlive(static_cast<net::NodeId>(i))) {
+        live.push_back(static_cast<net::NodeId>(i));
+      }
+    }
+    return live[r.Uniform(live.size())];
+  }
+
+  void SetChurnFaults(bool on) {
+    net::FaultOptions f;
+    if (on) {
+      f.drop_prob = opts.drop_prob;
+      f.delay_prob = opts.delay_prob;
+      f.max_extra_delay_us = opts.max_extra_delay_us;
+    }
+    dep->network().SetFaultOptions(f);
+  }
+
+  void RebalanceAll() {
+    for (size_t i = 0; i < dep->size(); ++i) {
+      auto n = static_cast<net::NodeId>(i);
+      if (dep->IsAlive(n)) dep->storage(i).RebalanceTo(dep->snapshot());
+    }
+  }
+
+  void Settle() {
+    dep->RunUntil([this] { return dep->PendingRpcCount() == 0; },
+                  300 * sim::kMicrosPerSec);
+    dep->RunFor(500 * sim::kMicrosPerMilli);  // one-way stragglers
+  }
+
+  // --- workload -------------------------------------------------------------
+
+  UpdateBatch MakeBatch(size_t rel_idx) {
+    UpdateBatch batch;
+    auto& updates = batch[kRelations[rel_idx]];
+    for (size_t i = 0; i < opts.updates_per_round; ++i) {
+      auto k = static_cast<int64_t>(workload_rng.Uniform(opts.keys));
+      if (workload_rng.NextDouble() < opts.delete_prob) {
+        updates.push_back(Update::Delete(Row(k, std::string())));
+      } else {
+        updates.push_back(Update::Insert(Row(k, workload_rng.AlphaString(24))));
+      }
+    }
+    return batch;
+  }
+
+  void ApplyToModel(size_t rel_idx, const UpdateBatch& batch, Epoch epoch) {
+    for (const Update& u : batch.at(kRelations[rel_idx])) {
+      int64_t k = u.tuple[0].AsInt64();
+      if (u.kind == Update::Kind::kDelete) {
+        current[rel_idx].erase(k);
+      } else {
+        current[rel_idx][k] = u.tuple[1].AsString();
+      }
+    }
+    for (size_t r = 0; r < kNumRelations; ++r) history[r][epoch] = current[r];
+    committed_epoch = epoch;
+    if (opts.gc_keep_epochs > 0 && epoch > opts.gc_keep_epochs) {
+      watermark = epoch - opts.gc_keep_epochs;
+      for (size_t r = 0; r < kNumRelations; ++r) {
+        auto& h = history[r];
+        h.erase(h.begin(), h.lower_bound(watermark));
+      }
+    }
+  }
+
+  /// Publishes `batch`, retrying (idempotently) across faults and kills.
+  /// Escalates to a convergence repair before the final attempts.
+  bool PublishWithRetry(size_t rel_idx) {
+    UpdateBatch batch = MakeBatch(rel_idx);
+    for (size_t attempt = 0; attempt < opts.publish_attempts; ++attempt) {
+      if (attempt == opts.publish_attempts - 2) {
+        // Last-but-one attempt: repair the cluster first. If the batch still
+        // cannot publish on a healthy quiescent cluster, that is a bug.
+        Repair();
+      }
+      net::NodeId via = RandomLive(rng);
+      auto r = dep->Publish(via, batch);
+      if (r.ok()) {
+        if (attempt > 0) report.publish_retries += attempt;
+        report.publishes_ok += 1;
+        ApplyToModel(rel_idx, batch, *r);
+        Trace("pub rel=%zu via=%u ep=%llu tries=%zu", rel_idx, via,
+              static_cast<unsigned long long>(*r), attempt + 1);
+        return true;
+      }
+      // Let in-flight fault fallout (timeouts, drop notices) clear a little
+      // before retrying; publishes are idempotent per batch.
+      dep->RunFor(2 * sim::kMicrosPerSec);
+    }
+    return Fail("publish failed after " + std::to_string(opts.publish_attempts) +
+                " attempts: batch for " + kRelations[rel_idx]);
+  }
+
+  // --- faults ---------------------------------------------------------------
+
+  void MaybeScheduleKill() {
+    if (fault_rng.NextDouble() >= opts.kill_prob) return;
+    if (dead.size() >= opts.max_dead) return;
+    net::NodeId victim = RandomLive(fault_rng);
+    sim::SimTime delay = static_cast<sim::SimTime>(
+        fault_rng.Uniform(3 * sim::kMicrosPerSec));  // lands mid-publish
+    dep->sim().ScheduleAfter(delay, [this, victim] {
+      if (!dep->IsAlive(victim)) return;
+      dep->KillNode(victim, /*update_routing=*/true, /*rebalance=*/false);
+      dead.insert(victim);
+      report.kills += 1;
+      Trace("kill node=%u", victim);
+    });
+  }
+
+  void MaybeRestartDead() {
+    for (auto it = dead.begin(); it != dead.end();) {
+      if (fault_rng.NextDouble() < opts.restart_prob) {
+        net::NodeId n = *it;
+        it = dead.erase(it);
+        dep->RestartNode(n);
+        report.restarts += 1;
+        Trace("restart node=%u", n);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Full repair: faults off, everyone restarted, re-replicated, quiescent.
+  void Repair() {
+    SetChurnFaults(false);
+    for (auto it = dead.begin(); it != dead.end();) {
+      net::NodeId n = *it;
+      it = dead.erase(it);
+      dep->RestartNode(n);
+      report.restarts += 1;
+      Trace("restart node=%u (repair)", n);
+    }
+    RebalanceAll();
+    Settle();
+  }
+
+  // --- convergence checks ---------------------------------------------------
+
+  bool CheckRelationAt(size_t rel_idx, Epoch epoch, const ModelState& expect,
+                       const storage::KeyFilter& filter, const char* what) {
+    net::NodeId via = RandomLive(rng);
+    Result<std::vector<Tuple>> rows =
+        dep->Retrieve(via, kRelations[rel_idx], epoch, filter);
+    for (int retry = 0; retry < 3 && !rows.ok(); ++retry) {
+      // Transport-level stragglers from the churn phase may fail the first
+      // scan; a wrong ANSWER is never retried.
+      dep->RunFor(2 * sim::kMicrosPerSec);
+      rows = dep->Retrieve(RandomLive(rng), kRelations[rel_idx], epoch, filter);
+    }
+    if (!rows.ok()) {
+      return Fail(std::string(what) + " retrieve(" + kRelations[rel_idx] +
+                  ", e=" + std::to_string(epoch) +
+                  ") failed: " + rows.status().ToString());
+    }
+    ModelState got;
+    for (const Tuple& t : *rows) {
+      if (t.size() != 2) return Fail("retrieved tuple with wrong arity");
+      int64_t k = t[0].AsInt64();
+      if (!got.emplace(k, t[1].AsString()).second) {
+        return Fail(std::string(what) + " duplicate key " + std::to_string(k) +
+                    " in retrieval of " + kRelations[rel_idx]);
+      }
+    }
+    ModelState want;
+    for (const auto& [k, v] : expect) {
+      std::string kb;
+      Value(k).EncodeOrdered(&kb);
+      if (filter.Matches(kb)) want.emplace(k, v);
+    }
+    if (got != want) {
+      return Fail(std::string(what) + " mismatch on " + kRelations[rel_idx] +
+                  " at e=" + std::to_string(epoch) + ": got " +
+                  std::to_string(got.size()) + " rows, want " +
+                  std::to_string(want.size()));
+    }
+    return true;
+  }
+
+  bool ConvergeAndCheck() {
+    Repair();
+    // Nudge GC so the storage measurements below see a retired state even if
+    // re-replication just resurrected already-retired records.
+    if (watermark > 0) {
+      for (size_t i = 0; i < dep->size(); ++i) {
+        dep->storage(i).SetGcWatermark(watermark);
+      }
+      Settle();
+    }
+    report.checks += 1;
+
+    storage::KeyFilter all;
+    for (size_t r = 0; r < kNumRelations; ++r) {
+      if (!CheckRelationAt(r, committed_epoch, current[r], all, "current")) {
+        return false;
+      }
+    }
+    // Sargable range retrieval: a random inclusive key range.
+    {
+      size_t r = rng.Uniform(kNumRelations);
+      auto lo = static_cast<int64_t>(rng.Uniform(opts.keys));
+      auto hi = lo + static_cast<int64_t>(rng.Uniform(opts.keys - lo) + 1);
+      storage::KeyFilter f;
+      f.all = false;
+      Value(lo).EncodeOrdered(&f.lo);
+      Value(hi).EncodeOrdered(&f.hi);
+      if (!CheckRelationAt(r, committed_epoch, current[r], f, "range")) {
+        return false;
+      }
+    }
+    // Historical epoch at-or-above the watermark.
+    if (opts.verify_history && !history[0].empty()) {
+      std::vector<Epoch> eligible;
+      for (const auto& [e, st] : history[0]) {
+        if (e >= watermark && e != committed_epoch) eligible.push_back(e);
+      }
+      if (!eligible.empty()) {
+        Epoch e = eligible[rng.Uniform(eligible.size())];
+        size_t r = rng.Uniform(kNumRelations);
+        if (!CheckRelationAt(r, e, history[r].at(e), all, "history")) {
+          return false;
+        }
+      }
+    }
+    return CheckStorageBounds();
+  }
+
+  bool CheckStorageBounds() {
+    uint64_t live_total = 0;
+    double worst_dead = 0;
+    uint64_t retired = 0;
+    const uint64_t floor = opts.compaction_min_records;
+    for (size_t i = 0; i < dep->size(); ++i) {
+      const auto& store = dep->storage(i).store();
+      live_total += store.entry_count();
+      const auto& gs = dep->storage(i).gc_stats();
+      retired = retired + gs.retired_data + gs.retired_pages +
+                gs.retired_coords + gs.retired_tombstones;
+      // Bounded garbage: compaction keeps the log within ~2x live once past
+      // the compaction floor (below it compaction never runs, by design).
+      uint64_t log = store.log_size();
+      uint64_t cap = std::max<uint64_t>(
+          floor + floor / 4, 2 * store.entry_count() + store.entry_count() / 4 + 64);
+      if (log > cap) {
+        return Fail("store log unbounded on node " + std::to_string(i) +
+                    ": log=" + std::to_string(log) +
+                    " live=" + std::to_string(store.entry_count()));
+      }
+      if (log >= floor) {
+        worst_dead = std::max(worst_dead, store.dead_fraction());
+        if (store.dead_fraction() > 0.55) {
+          return Fail("dead fraction above compaction threshold on node " +
+                      std::to_string(i) + ": " +
+                      std::to_string(store.dead_fraction()));
+        }
+      }
+    }
+    report.max_live_records = std::max(report.max_live_records, live_total);
+    report.max_dead_fraction = std::max(report.max_dead_fraction, worst_dead);
+    report.gc_retired_total = retired;
+
+    if (opts.gc_keep_epochs > 0) {
+      // Live records must not grow with the round count: versions retained
+      // per key/page/coordinator are bounded by the watermark window, and
+      // copies per record by the node count (old replicas keep theirs until
+      // the version is superseded).
+      uint64_t window = opts.gc_keep_epochs + 4;
+      uint64_t per_rel = opts.keys * window +                // tuple versions
+                         opts.num_partitions * window +      // page versions
+                         window +                            // coordinators
+                         opts.num_partitions + opts.num_nodes + 1;  // I + M
+      uint64_t bound = opts.num_nodes * kNumRelations * per_rel + 512;
+      report.live_record_bound = bound;
+      if (live_total > bound) {
+        return Fail("GC failed to bound storage: live=" +
+                    std::to_string(live_total) +
+                    " bound=" + std::to_string(bound) + " after " +
+                    std::to_string(report.publishes_ok) + " publishes");
+      }
+    }
+    Trace("check ep=%llu live=%llu deadmax=%.3f",
+          static_cast<unsigned long long>(committed_epoch),
+          static_cast<unsigned long long>(live_total), worst_dead);
+    return true;
+  }
+
+  // --- top level ------------------------------------------------------------
+
+  bool Setup() {
+    for (size_t r = 0; r < kNumRelations; ++r) {
+      Status st = dep->CreateRelation(
+          0, MakeDef(kRelations[r], opts.num_partitions));
+      if (!st.ok()) return Fail("create relation: " + st.ToString());
+    }
+    // Initial population so overwrites dominate from round one.
+    for (size_t r = 0; r < kNumRelations; ++r) {
+      UpdateBatch batch;
+      auto& ups = batch[kRelations[r]];
+      for (size_t k = 0; k < opts.keys; ++k) {
+        ups.push_back(Update::Insert(
+            Row(static_cast<int64_t>(k), workload_rng.AlphaString(24))));
+      }
+      auto e = dep->Publish(0, batch);
+      if (!e.ok()) return Fail("initial publish: " + e.status().ToString());
+      for (size_t i = 0; i < opts.keys; ++i) {
+        current[r][static_cast<int64_t>(i)] = ups[i].tuple[1].AsString();
+      }
+      for (size_t rr = 0; rr < kNumRelations; ++rr) {
+        history[rr][*e] = current[rr];
+      }
+      committed_epoch = *e;
+    }
+    Trace("setup ep=%llu", static_cast<unsigned long long>(committed_epoch));
+    return true;
+  }
+
+  void Run() {
+    if (!Setup()) return;
+    for (size_t round = 1; round <= opts.rounds && !failed; ++round) {
+      MaybeRestartDead();
+      SetChurnFaults(true);
+      MaybeScheduleKill();
+      size_t rel = workload_rng.Uniform(kNumRelations);
+      if (!PublishWithRetry(rel)) break;
+      // Flush any still-pending scheduled kill, then re-replicate around it
+      // so the next round's publish can reach every record.
+      dep->RunFor(3 * sim::kMicrosPerSec + 1);
+      if (!dead.empty()) {
+        SetChurnFaults(false);
+        RebalanceAll();
+        Settle();
+      }
+      Trace("round=%zu ep=%llu dead=%zu", round,
+            static_cast<unsigned long long>(committed_epoch), dead.size());
+      if (round % opts.check_every == 0 || round == opts.rounds) {
+        if (!ConvergeAndCheck()) break;
+      }
+    }
+    if (!failed) report.ok = true;
+    report.final_epoch = committed_epoch;
+    report.faults_dropped = dep->network().fault_counters().dropped;
+    report.faults_delayed = dep->network().fault_counters().delayed;
+    report.trace_digest = dep->sim().trace_digest();
+    report.sim_seconds = static_cast<double>(dep->sim().now()) / 1e6;
+    char tail[160];
+    std::snprintf(tail, sizeof(tail),
+                  "end ok=%d ep=%llu dig=%016" PRIx64 " drops=%llu delays=%llu\n",
+                  report.ok ? 1 : 0,
+                  static_cast<unsigned long long>(report.final_epoch),
+                  report.trace_digest,
+                  static_cast<unsigned long long>(report.faults_dropped),
+                  static_cast<unsigned long long>(report.faults_delayed));
+    report.trace += tail;
+  }
+};
+
+}  // namespace
+
+ChurnReport RunChurn(const ChurnOptions& options) {
+  Driver driver(options);
+  driver.Run();
+  return driver.report;
+}
+
+}  // namespace orchestra::churn

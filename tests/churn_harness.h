@@ -1,0 +1,107 @@
+// Deterministic churn / fault-injection harness. Drives a sustained
+// publish/overwrite/delete/query workload against a simulated multi-node
+// deployment while injecting crashes, restarts, message drops, and delayed
+// deliveries, and checks full-retrieval equivalence against an in-memory
+// model after every convergence point.
+//
+// Everything is derived from ChurnOptions::seed: the workload stream, the
+// fault schedule, and the network's drop/delay stream. Two runs with the
+// same options produce byte-identical event traces (ChurnReport::trace) and
+// equal simulator digests; a failing run reports its seed in
+// ChurnReport::failure ("churn[seed=N] ...") — rerun RunChurn with that seed
+// to replay the exact failure.
+//
+// The harness is also the proof obligation for multi-epoch GC: with
+// gc_keep_epochs > 0 it asserts at every convergence point that storage
+// stays bounded (live records do not grow with the number of rounds, and
+// each store's dead-record fraction stays below the compaction threshold
+// plus slack) while retrieval stays correct at the current epoch and at
+// retained historical epochs.
+#ifndef ORCHESTRA_TESTS_CHURN_HARNESS_H_
+#define ORCHESTRA_TESTS_CHURN_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace orchestra::churn {
+
+struct ChurnOptions {
+  uint64_t seed = 1;
+
+  // Cluster shape.
+  size_t num_nodes = 5;
+  int replication = 3;
+  uint32_t num_partitions = 8;
+
+  // Workload: each round publishes one batch of upserts/deletes over a fixed
+  // key working set (overwrite-heavy — this is what grows dead versions).
+  size_t rounds = 100;
+  size_t keys = 48;              // working-set size per relation
+  size_t updates_per_round = 8;  // updates per published batch
+  double delete_prob = 0.15;     // P(update is a delete)
+
+  // Fault mix. Kills are scheduled to land mid-publish; restarts happen
+  // between rounds. max_dead keeps the replica-safety bound of the system
+  // (replication-way storage tolerates replication/2 failures).
+  double kill_prob = 0.08;
+  double restart_prob = 0.5;
+  size_t max_dead = 1;
+  double drop_prob = 0.02;
+  double delay_prob = 0.10;
+  sim::SimTime max_extra_delay_us = 20 * 1000;
+
+  // Convergence cadence: every `check_every` rounds faults pause, dead nodes
+  // restart, re-replication runs, and the model-equivalence + GC assertions
+  // execute.
+  size_t check_every = 20;
+
+  // Multi-epoch GC: watermark = current epoch - gc_keep_epochs (0 = GC off;
+  // storage then grows without bound and only equivalence is asserted).
+  uint64_t gc_keep_epochs = 6;
+
+  // LocalStore compaction floor for the deployment: lowered from the
+  // production default (4096) so harness-scale stores still exercise the
+  // GC -> compaction pipeline. Dead-fraction assertions apply to stores
+  // at or above the floor (below it, compaction never runs by design).
+  uint64_t compaction_min_records = 512;
+
+  // Publish retry budget per batch (re-publishing a batch is idempotent).
+  size_t publish_attempts = 12;
+
+  // Also retrieve at one retained historical epoch per check.
+  bool verify_history = true;
+};
+
+struct ChurnReport {
+  bool ok = false;
+  std::string failure;  // empty when ok; else "churn[seed=N] ..."
+  std::string trace;    // one line per round/action; byte-identical per seed
+
+  uint64_t publishes_ok = 0;
+  uint64_t publish_retries = 0;
+  uint64_t kills = 0;
+  uint64_t restarts = 0;
+  uint64_t checks = 0;
+  uint64_t final_epoch = 0;
+
+  // GC / storage-bound observations (maxima over all convergence checks).
+  double max_dead_fraction = 0;    // worst per-store dead fraction
+  uint64_t max_live_records = 0;   // worst cluster-wide live record count
+  uint64_t live_record_bound = 0;  // the bound asserted against
+  uint64_t gc_retired_total = 0;   // records retired by GC across the run
+
+  // Fault accounting + determinism fingerprint.
+  uint64_t faults_dropped = 0;
+  uint64_t faults_delayed = 0;
+  uint64_t trace_digest = 0;  // simulator digest at the end of the run
+  double sim_seconds = 0;     // simulated makespan
+};
+
+/// Runs the churn scenario described by `options` to completion.
+ChurnReport RunChurn(const ChurnOptions& options);
+
+}  // namespace orchestra::churn
+
+#endif  // ORCHESTRA_TESTS_CHURN_HARNESS_H_

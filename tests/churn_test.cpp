@@ -1,0 +1,150 @@
+// Churn/fault-injection suite built on tests/churn_harness.{h,cpp}.
+//
+// Reproducing a failure: every assertion message carries the seed
+// ("churn[seed=N] ..."). Rerun just that seed with
+//   ORCHESTRA_CHURN_SEED=N ./churn_test --gtest_filter=Churn.SeedSweep
+// — same seed, same options => byte-identical event trace.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "tests/churn_harness.h"
+
+namespace orchestra {
+namespace {
+
+using churn::ChurnOptions;
+using churn::ChurnReport;
+using churn::RunChurn;
+
+// ---------------------------------------------------------------------------
+// Seed sweep: >= 20 distinct seeds, each with crashes, restarts, drops, and
+// delays injected, every run model-equivalent at every convergence point.
+
+TEST(Churn, SeedSweep) {
+  constexpr uint64_t kSeeds = 20;
+  uint64_t only_seed = 0;
+  if (const char* env = std::getenv("ORCHESTRA_CHURN_SEED")) {
+    only_seed = std::strtoull(env, nullptr, 10);
+  }
+  uint64_t total_kills = 0, total_restarts = 0, total_drops = 0,
+           total_delays = 0;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    if (only_seed != 0 && seed != only_seed) continue;
+    ChurnOptions opts;
+    opts.seed = seed;
+    opts.rounds = 30;
+    opts.check_every = 10;
+    ChurnReport rep = RunChurn(opts);
+    EXPECT_TRUE(rep.ok) << rep.failure << "\ntrace tail:\n"
+                        << rep.trace.substr(rep.trace.size() > 2000
+                                                ? rep.trace.size() - 2000
+                                                : 0);
+    EXPECT_GE(rep.checks, 3u) << "seed " << seed;
+    EXPECT_GT(rep.publishes_ok, 0u) << "seed " << seed;
+    total_kills += rep.kills;
+    total_restarts += rep.restarts;
+    total_drops += rep.faults_dropped;
+    total_delays += rep.faults_delayed;
+    if (HasFailure()) break;
+  }
+  if (only_seed == 0) {
+    // The sweep as a whole must actually exercise every fault class.
+    EXPECT_GT(total_kills, 0u);
+    EXPECT_GT(total_restarts, 0u);
+    EXPECT_GT(total_drops, 0u);
+    EXPECT_GT(total_delays, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism regression: same seed => byte-identical event trace and equal
+// simulator digests; different seeds diverge.
+
+TEST(Churn, SameSeedReplaysIdenticalTrace) {
+  ChurnOptions opts;
+  opts.seed = 77;
+  opts.rounds = 25;
+  opts.check_every = 10;
+  ChurnReport a = RunChurn(opts);
+  ChurnReport b = RunChurn(opts);
+  ASSERT_TRUE(a.ok) << a.failure;
+  ASSERT_TRUE(b.ok) << b.failure;
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.final_epoch, b.final_epoch);
+  EXPECT_EQ(a.faults_dropped, b.faults_dropped);
+  EXPECT_EQ(a.faults_delayed, b.faults_delayed);
+  // Byte-identical trace is the strongest statement: every kill, restart,
+  // retry, and check happened at the same simulated instant.
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(Churn, DifferentSeedsDiverge) {
+  ChurnOptions a_opts, b_opts;
+  a_opts.seed = 101;
+  b_opts.seed = 102;
+  a_opts.rounds = b_opts.rounds = 15;
+  ChurnReport a = RunChurn(a_opts);
+  ChurnReport b = RunChurn(b_opts);
+  ASSERT_TRUE(a.ok) << a.failure;
+  ASSERT_TRUE(b.ok) << b.failure;
+  EXPECT_NE(a.trace, b.trace);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-epoch GC: >= 1000 churn rounds of overwrite-heavy traffic. Live
+// records must stay bounded (independent of round count) and every store's
+// dead-record fraction below the compaction threshold, while retrieval stays
+// model-equivalent at the current epoch and retained history.
+
+TEST(Churn, GcBoundsStorageAcrossThousandRounds) {
+  ChurnOptions opts;
+  opts.seed = 4242;
+  opts.rounds = 1000;
+  opts.check_every = 100;
+  opts.updates_per_round = 10;
+  opts.delete_prob = 0.1;
+  // Rarer churn so the run is dominated by sustained overwrite traffic.
+  opts.kill_prob = 0.01;
+  opts.drop_prob = 0.005;
+  opts.delay_prob = 0.05;
+  opts.gc_keep_epochs = 6;
+  ChurnReport rep = RunChurn(opts);
+  ASSERT_TRUE(rep.ok) << rep.failure << "\ntrace tail:\n"
+                      << rep.trace.substr(rep.trace.size() > 2000
+                                              ? rep.trace.size() - 2000
+                                              : 0);
+  EXPECT_GE(rep.publishes_ok, 1000u);
+  EXPECT_GE(rep.checks, 10u);
+  // The run must have actually retired versions, stayed under the bound at
+  // every check, and kept garbage below the compaction threshold + slack.
+  EXPECT_GT(rep.gc_retired_total, 0u);
+  EXPECT_GT(rep.live_record_bound, 0u);
+  EXPECT_LE(rep.max_live_records, rep.live_record_bound);
+  EXPECT_LE(rep.max_dead_fraction, 0.55);
+}
+
+// Without GC the same workload grows without bound — the harness's bound
+// assertion is only armed when GC is on, so compare the live-record curves.
+TEST(Churn, GcOnShrinksFootprintVsGcOff) {
+  ChurnOptions on, off;
+  on.seed = off.seed = 9;
+  on.rounds = off.rounds = 120;
+  on.check_every = off.check_every = 40;
+  on.kill_prob = off.kill_prob = 0;  // isolate the GC effect
+  on.drop_prob = off.drop_prob = 0;
+  on.delay_prob = off.delay_prob = 0;
+  on.gc_keep_epochs = 6;
+  off.gc_keep_epochs = 0;
+  ChurnReport rep_on = RunChurn(on);
+  ChurnReport rep_off = RunChurn(off);
+  ASSERT_TRUE(rep_on.ok) << rep_on.failure;
+  ASSERT_TRUE(rep_off.ok) << rep_off.failure;
+  // Same workload, same seed: GC must cut the retained footprint hard.
+  EXPECT_LT(rep_on.max_live_records * 2, rep_off.max_live_records)
+      << "gc_on=" << rep_on.max_live_records
+      << " gc_off=" << rep_off.max_live_records;
+}
+
+}  // namespace
+}  // namespace orchestra

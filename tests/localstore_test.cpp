@@ -306,5 +306,118 @@ TEST_P(LocalStoreFuzz, MatchesStdMapModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LocalStoreFuzz, ::testing::Values(1, 2, 3, 4, 5));
 
+// ---------------------------------------------------------------------------
+// SeekPrefix x overwrite/delete x Compact/Recover interplay: the live-slot
+// indirection (overwrites repoint a slot, deletes mark it dead, the tree is
+// insert-only) must survive full index rebuilds, and prefix scans must see
+// the same live view before and after each rebuild.
+
+// One prefixed key family interleaved with neighbors; mutate, then verify
+// prefix scans across a Compact and a Recover cycle.
+TEST(LocalStore, SeekPrefixSurvivesCompactRecoverCycle) {
+  LocalStore store;
+  auto key = [](const std::string& pfx, int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%03d", i);
+    return pfx + buf;
+  };
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store.Put(key("A/", i), "a" + std::to_string(i)).ok());
+    ASSERT_TRUE(store.Put(key("B/", i), "b" + std::to_string(i)).ok());
+    ASSERT_TRUE(store.Put(key("C/", i), "c" + std::to_string(i)).ok());
+  }
+  // Overwrite evens, delete every third key in the B family.
+  for (int i = 0; i < 50; i += 2) {
+    ASSERT_TRUE(store.Put(key("B/", i), "B" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 50; i += 3) {
+    ASSERT_TRUE(store.Delete(key("B/", i)).ok());
+  }
+
+  auto expect_b = [&](const char* when) {
+    std::vector<std::pair<std::string, std::string>> want;
+    for (int i = 0; i < 50; ++i) {
+      if (i % 3 == 0) continue;
+      want.emplace_back(key("B/", i),
+                        (i % 2 == 0 ? "B" : "b") + std::to_string(i));
+    }
+    size_t n = 0;
+    for (auto it = store.SeekPrefix("B/"); it.Valid(); it.Next(), ++n) {
+      ASSERT_LT(n, want.size()) << when;
+      EXPECT_EQ(it.key(), want[n].first) << when;
+      EXPECT_EQ(it.value(), want[n].second) << when;
+    }
+    EXPECT_EQ(n, want.size()) << when;
+  };
+
+  expect_b("before rebuilds");
+  store.Compact();
+  expect_b("after Compact");
+  // Mutate again after the compaction rebuilt the tree/live table densely:
+  // the indirection must still route overwrites/deletes correctly.
+  ASSERT_TRUE(store.Put(key("B/", 1), "post-compact").ok());
+  ASSERT_TRUE(store.Delete(key("B/", 49)).ok());
+  ASSERT_TRUE(store.Recover().ok());
+  {
+    auto it = store.SeekPrefix("B/");
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), key("B/", 1));
+    EXPECT_EQ(it.value(), "post-compact");
+  }
+  size_t b_count = 0;
+  for (auto it = store.SeekPrefix("B/"); it.Valid(); it.Next()) ++b_count;
+  EXPECT_EQ(b_count, 50u - 17u - 1u);  // 17 deleted by 3s, then B/49
+  // Neighboring families are untouched by all of the above.
+  size_t a_count = 0;
+  for (auto it = store.SeekPrefix("A/"); it.Valid(); it.Next()) ++a_count;
+  EXPECT_EQ(a_count, 50u);
+}
+
+// Randomized: interleave Put/overwrite/Delete with Compact+Recover cycles
+// and check SeekPrefix against a model at every stage.
+TEST(LocalStoreFuzz, PrefixScansMatchModelAcrossRebuilds) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    LocalStore store;
+    std::map<std::string, std::string> model;
+    const std::string prefixes[] = {"p/", "q/", "p0", ""};
+    for (int step = 0; step < 2000; ++step) {
+      std::string k = (rng.OneIn(2) ? "p/" : "q/") + std::to_string(rng.Uniform(80));
+      switch (rng.Uniform(3)) {
+        case 0:
+        case 1: {
+          std::string v = rng.AlphaString(12);
+          ASSERT_TRUE(store.Put(k, v).ok());
+          model[k] = v;
+          break;
+        }
+        case 2:
+          ASSERT_TRUE(store.Delete(k).ok());
+          model.erase(k);
+          break;
+      }
+      if (step % 500 == 499) {
+        if (rng.OneIn(2)) {
+          store.Compact();
+        } else {
+          ASSERT_TRUE(store.Recover().ok()) << "seed " << seed;
+        }
+        for (const std::string& pfx : prefixes) {
+          auto lo = model.lower_bound(pfx);
+          auto hi = pfx.empty() ? model.end()
+                                : model.lower_bound(LocalStore::PrefixUpperBound(pfx));
+          auto it = store.SeekPrefix(pfx);
+          for (auto m = lo; m != hi; ++m, it.Next()) {
+            ASSERT_TRUE(it.Valid()) << "seed " << seed << " pfx " << pfx;
+            EXPECT_EQ(it.key(), m->first);
+            EXPECT_EQ(it.value(), m->second);
+          }
+          EXPECT_FALSE(it.Valid()) << "seed " << seed << " pfx " << pfx;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace orchestra::localstore

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "deploy/deployment.h"
 #include "net/rpc.h"
 #include "storage/publisher.h"
@@ -240,16 +241,84 @@ TEST_F(RpcLifecycleTest, ReplicaFailoverExhaustionReleasesChain) {
   auto dep = MakeCluster();
   bool fired = false;
   Status got;
-  // Epoch 99 exists nowhere; every replica answers NotFound and the
-  // failover chain must unwind completely.
+  // Epoch 99 exists nowhere; every replica answers NotFound, the failover
+  // chain must unwind completely, and the definitive NotFound (not a
+  // flattened Unavailable) reaches the caller — the publisher's coordinator
+  // walk-back distinguishes the two.
   dep->storage(0).GetCoordinator("nope", 99, [&](Status st, CoordinatorRecord) {
     fired = true;
     got = st;
   });
   ASSERT_TRUE(dep->RunUntil([&] { return fired; }));
-  EXPECT_TRUE(got.IsUnavailable()) << got.ToString();
+  EXPECT_TRUE(got.IsNotFound()) << got.ToString();
   EXPECT_EQ(dep->storage(0).pending_rpc_count(), 0u);
   EXPECT_EQ(CallbacksAliveDelta(), 0);
+}
+
+// Property: under randomized peer drops and restarts — with message drops
+// and delays injected on the wire — the pending tables drain and
+// callbacks_alive returns to zero for every seed once the system quiesces.
+// Individual operations may fail (Unavailable/TimedOut); leaks may not.
+TEST_F(RpcLifecycleTest, RandomChurnDrainsTablesForEverySeed) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    auto dep = MakeCluster(5, 3);
+    dep->network().SeedFaults(rng.Fork(7).NextU64());
+    ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok()) << seed;
+
+    net::FaultOptions faults;
+    faults.drop_prob = 0.05;
+    faults.delay_prob = 0.15;
+    faults.max_extra_delay_us = 30 * sim::kMicrosPerMilli;
+    dep->network().SetFaultOptions(faults);
+
+    std::vector<net::NodeId> dead;
+    for (int round = 0; round < 12; ++round) {
+      // Random kill (keep a majority) or restart of a previous victim.
+      if (!dead.empty() && rng.OneIn(2)) {
+        net::NodeId n = dead.back();
+        dead.pop_back();
+        dep->network().SetFaultOptions({});  // restarts repair cleanly
+        dep->RestartNode(n);
+        dep->network().SetFaultOptions(faults);
+      } else if (dead.empty() && rng.OneIn(3)) {
+        auto victim = static_cast<net::NodeId>(1 + rng.Uniform(dep->size() - 1));
+        dep->KillNode(victim, /*update_routing=*/true, /*rebalance=*/true);
+        dead.push_back(victim);
+      }
+      // Fire work through a live node; failures are acceptable outcomes.
+      net::NodeId via = 0;
+      UpdateBatch batch;
+      for (int i = 0; i < 6; ++i) {
+        batch["R"].push_back(Update::Insert(
+            Row("k" + std::to_string(rng.Uniform(64)), "v" + std::to_string(round))));
+      }
+      auto e = dep->Publish(via, std::move(batch));
+      if (e.ok()) {
+        dep->Retrieve(via, "R", *e).ok();
+      }
+    }
+
+    // Quiesce: faults off, everyone back, all deadlines run out.
+    dep->network().SetFaultOptions({});
+    for (net::NodeId n : dead) dep->RestartNode(n);
+    dep->RunUntil([&] { return dep->PendingRpcCount() == 0; },
+                  600 * sim::kMicrosPerSec);
+    dep->RunFor(90 * sim::kMicrosPerSec);
+
+    EXPECT_EQ(dep->PendingRpcCount(), 0u) << "seed " << seed;
+    for (size_t i = 0; i < dep->size(); ++i) {
+      EXPECT_EQ(dep->storage(i).pending_rpc_count(), 0u)
+          << "seed " << seed << " node " << i;
+      EXPECT_EQ(dep->storage(i).active_scan_count(), 0u)
+          << "seed " << seed << " node " << i;
+      const auto& c = dep->storage(i).rpc_counters();
+      EXPECT_EQ(c.started, c.completed + c.timed_out + c.reaped + c.cancelled)
+          << "seed " << seed << " node " << i;
+    }
+    dep.reset();
+    EXPECT_EQ(CallbacksAliveDelta(), 0) << "seed " << seed;
+  }
 }
 
 }  // namespace
