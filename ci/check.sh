@@ -31,8 +31,10 @@ sanitize() {
   cmake -B build-asan -S . -DORC_SANITIZE=address,undefined \
         -DORC_BUILD_BENCH=OFF -DORC_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j "$jobs" \
-        --target storage_test query_test integration_test rpc_lifecycle_test
-  for t in storage_test query_test integration_test rpc_lifecycle_test; do
+        --target storage_test query_test integration_test rpc_lifecycle_test \
+        client_test
+  for t in storage_test query_test integration_test rpc_lifecycle_test \
+           client_test; do
     echo "-- $t"
     ASAN_OPTIONS=detect_leaks=1 "./build-asan/$t"
   done
@@ -67,10 +69,11 @@ bench_diff() {
   echo "== bench diff: fresh BENCH_*.json vs committed bench/results/ baselines"
   cmake -B build -S .
   cmake --build build -j "$jobs" --target bench_micro_substrate \
-        bench_sustained_churn bench_fig07_09_stb_nodes
+        bench_sustained_churn bench_fig07_09_stb_nodes bench_pipelined_publish
   (cd build && ORCHESTRA_BENCH_SMOKE=1 ./bench_micro_substrate > /dev/null)
   (cd build && ./bench_sustained_churn > /dev/null)
   (cd build && ./bench_fig07_09_stb_nodes > /dev/null)
+  (cd build && ./bench_pipelined_publish > /dev/null)
   python3 - <<'PY'
 import glob, json, os, sys
 
@@ -109,6 +112,30 @@ for ref_path in sorted(glob.glob("bench/results/BENCH_*.json")):
                 failures.append(
                     f"{ref['bench']}/{re_['name']}: live_records "
                     f"{fe.get('live_records')} > 1.3 * committed {re_['live_records']}")
+    # Pipelined-publish acceptance bounds, on the FRESH run's deterministic
+    # sim metrics (independent of machine speed):
+    #   window-4 pipeline >= 2x window-1 throughput, inbox depth at window 8
+    #   within 2x of the window-1 baseline, admission control engaged.
+    if ref["bench"] == "pipelined_publish":
+        f = fresh_entries
+        try:
+            w1, w4, w8 = f["wan_window_1"], f["wan_window_4"], f["wan_window_8"]
+            if w4["sim_tuples_per_sec"] < 2.0 * w1["sim_tuples_per_sec"]:
+                failures.append(
+                    f"pipelined_publish: window-4 sim throughput "
+                    f"{w4['sim_tuples_per_sec']:.0f} < 2x window-1 "
+                    f"{w1['sim_tuples_per_sec']:.0f}")
+            if w8["max_inbox_msgs"] > 2.0 * w1["max_inbox_msgs"]:
+                failures.append(
+                    f"pipelined_publish: window-8 max inbox "
+                    f"{w8['max_inbox_msgs']} > 2x window-1 {w1['max_inbox_msgs']}")
+            ov = f["overload_injected_window_8"]
+            if ov["throttle_shrinks"] < 1 or ov["min_window_seen"] != 1:
+                failures.append(
+                    "pipelined_publish: admission control did not throttle "
+                    "under injected overload")
+        except KeyError as e:
+            failures.append(f"pipelined_publish: missing entry {e}")
 if compared == 0:
     failures.append("no bench entries compared - baselines or fresh runs missing")
 if failures:

@@ -1,0 +1,86 @@
+// Pending<T>: a lightweight single-threaded future/continuation handle — the
+// completion type of the client::Session API. A Pending is a copyable view of
+// shared completion state; the producer resolves it exactly once with a
+// Status and (on success) a value, and every registered continuation runs at
+// that moment. There is no blocking wait: callers either poll done() while
+// driving the simulator, or chain work with OnReady().
+//
+// Exactly-once completion is inherited from the layers below (the RPC
+// lifecycle table resolves every call once); Resolve() enforces it locally by
+// ignoring — and reporting — a second resolution attempt.
+#ifndef ORCHESTRA_COMMON_PENDING_H_
+#define ORCHESTRA_COMMON_PENDING_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace orchestra {
+
+template <typename T>
+class Pending {
+ public:
+  Pending() : state_(std::make_shared<State>()) {}
+
+  /// True once the producer resolved this handle (with success or failure).
+  bool done() const { return state_->done; }
+  /// True iff resolved successfully; false while still pending.
+  bool ok() const { return state_->done && state_->status.ok(); }
+  /// OK() while pending; the resolution status afterwards.
+  const Status& status() const { return state_->status; }
+
+  /// Precondition: ok().
+  T& value() { return state_->value; }
+  const T& value() const { return state_->value; }
+
+  /// Runs `fn` when the handle resolves — immediately if it already has.
+  /// Continuations run in resolution order, on the resolver's call stack.
+  void OnReady(std::function<void()> fn) {
+    if (state_->done) {
+      fn();
+    } else {
+      state_->waiters.push_back(std::move(fn));
+    }
+  }
+
+  /// Producer side: resolves the handle and fires continuations. Returns
+  /// false (and changes nothing) if the handle was already resolved — a
+  /// belt-and-braces guard; the layers below already complete exactly once.
+  bool Resolve(Status status, T value = T{}) {
+    if (state_->done) return false;
+    state_->status = std::move(status);
+    state_->value = std::move(value);
+    state_->done = true;
+    // Waiters may register further waiters from inside a continuation; index
+    // iteration keeps that safe, and the vector is released afterwards.
+    for (size_t i = 0; i < state_->waiters.size(); ++i) state_->waiters[i]();
+    state_->waiters.clear();
+    state_->waiters.shrink_to_fit();
+    return true;
+  }
+
+  /// Snapshot as a Result: the value when ok(), the status otherwise (a
+  /// still-pending handle reports Unavailable).
+  Result<T> ToResult() const {
+    if (!state_->done) return Status::Unavailable("still pending");
+    if (!state_->status.ok()) return state_->status;
+    return state_->value;
+  }
+
+ private:
+  struct State {
+    bool done = false;
+    Status status;
+    T value{};
+    std::vector<std::function<void()>> waiters;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_COMMON_PENDING_H_

@@ -33,6 +33,9 @@ Deployment::Deployment(DeploymentOptions options)
     publishers_.back()->set_gc_keep_epochs(options_.gc_keep_epochs);
     query_.push_back(std::make_unique<query::QueryService>(
         hosts_.back().get(), storage_.back().get(), gossip_.back().get(), board_));
+    sessions_.push_back(std::make_unique<client::Session>(
+        storage_.back().get(), publishers_.back().get(), query_.back().get(),
+        options_.session));
     if (options_.start_gossip) gossip_.back()->Start();
   }
 }
@@ -50,6 +53,10 @@ void Deployment::KillNode(net::NodeId node, bool update_routing, bool rebalance)
   // releases that state now — without invoking callbacks, since nothing may
   // execute on a halted node — instead of holding it until teardown.
   hosts_[node]->FailSelf();
+  // The dead node's session tickets can likewise never resolve through the
+  // publisher (its callbacks were just dropped); fail them at the client
+  // layer so callers observe the death instead of hanging.
+  sessions_[node]->AbortInFlight(Status::Unavailable("session node killed"));
   if (update_routing && rebalance) {
     for (auto& svc : storage_) {
       if (network_.IsAlive(svc->node())) svc->RebalanceTo(board_->current);
@@ -114,8 +121,12 @@ net::NodeId Deployment::AddNode() {
       hosts_.back().get(), board_, options_.replication, options_.store));
   publishers_.push_back(std::make_unique<storage::Publisher>(
       storage_.back().get(), gossip_.back().get()));
+  publishers_.back()->set_gc_keep_epochs(options_.gc_keep_epochs);
   query_.push_back(std::make_unique<query::QueryService>(
       hosts_.back().get(), storage_.back().get(), gossip_.back().get(), board_));
+  sessions_.push_back(std::make_unique<client::Session>(
+      storage_.back().get(), publishers_.back().get(), query_.back().get(),
+      options_.session));
 
   overlay::RoutingSnapshot next = ring_.TakeSnapshot();
   // Background replication (PAST-style): existing nodes push state the new
@@ -150,32 +161,19 @@ void Deployment::RunFor(sim::SimTime duration) { sim_.RunUntil(sim_.now() + dura
 
 namespace {
 
-// Shared-state synchronous wait for the conveniences below: they hand a
-// completion lambda to the service layer and step the simulator until it
-// fires. The lambda may outlive the wait — if RunUntil gives up, the RPC
-// lifecycle layer still holds it until the call's deadline resolves it — so
-// it captures this block, never the caller's stack: a late completion lands
-// in the shared block and is dropped, instead of scribbling over a dead
-// frame. `start` receives the (Status, T) completion to pass on.
-template <typename T, typename Start>
-Result<T> Await(Deployment& dep, const char* what, sim::SimTime max_wait,
-                Start&& start) {
-  struct Wait {
-    bool done = false;
-    Status result;
-    T value{};
-  };
-  auto w = std::make_shared<Wait>();
-  start([w](Status st, T v) {
-    w->result = st;
-    w->value = std::move(v);
-    w->done = true;
-  });
-  if (!dep.RunUntil([w] { return w->done; }, max_wait)) {
+// Synchronous wait for the conveniences below: each submits through the
+// node's client::Session and steps the simulator until the returned Pending
+// resolves. The Pending's state is shared — if RunUntil gives up, a late
+// completion still lands in that shared state (and is simply unobserved)
+// rather than in a dead stack frame.
+template <typename T>
+Result<T> AwaitPending(Deployment& dep, const char* what, sim::SimTime max_wait,
+                       Pending<T> p) {
+  if (!dep.RunUntil([&p] { return p.done(); }, max_wait)) {
     return Status::TimedOut(std::string(what) + " did not complete");
   }
-  if (!w->result.ok()) return w->result;
-  return std::move(w->value);
+  if (!p.status().ok()) return p.status();
+  return std::move(p.value());
 }
 
 constexpr sim::SimTime kDefaultWaitUs = Deployment::kDefaultWaitUs;
@@ -183,40 +181,31 @@ constexpr sim::SimTime kDefaultWaitUs = Deployment::kDefaultWaitUs;
 }  // namespace
 
 Status Deployment::CreateRelation(size_t via_node, const storage::RelationDef& def) {
-  auto r = Await<std::monostate>(
-      *this, "CreateRelation", kDefaultWaitUs, [&](auto done) {
-        publisher(via_node).CreateRelation(
-            def, [done](Status st) { done(st, std::monostate{}); });
-      });
-  return r.status();
+  return AwaitPending(*this, "CreateRelation", kDefaultWaitUs,
+                      session(via_node).CreateRelation(def))
+      .status();
 }
 
 Result<storage::Epoch> Deployment::Publish(size_t via_node,
                                            storage::UpdateBatch batch) {
-  return Await<storage::Epoch>(
-      *this, "Publish", kDefaultWaitUs, [&](auto done) {
-        publisher(via_node).PublishBatch(std::move(batch), std::move(done));
-      });
+  client::Ticket t = session(via_node).Submit(std::move(batch));
+  return AwaitPending(*this, "Publish", kDefaultWaitUs, t.epoch);
 }
 
 Result<std::vector<storage::Tuple>> Deployment::Retrieve(size_t via_node,
                                                          const std::string& relation,
                                                          storage::Epoch epoch,
                                                          storage::KeyFilter filter) {
-  return Await<std::vector<storage::Tuple>>(
-      *this, "Retrieve", kDefaultWaitUs, [&](auto done) {
-        storage(via_node).Retrieve(relation, epoch, filter, std::move(done));
-      });
+  return AwaitPending(*this, "Retrieve", kDefaultWaitUs,
+                      session(via_node).Retrieve(relation, epoch, filter));
 }
 
 Result<query::QueryResult> Deployment::ExecuteQuery(size_t via_node,
                                                     const query::PhysicalPlan& plan,
                                                     storage::Epoch epoch,
                                                     query::QueryOptions options) {
-  return Await<query::QueryResult>(
-      *this, "query", 600 * sim::kMicrosPerSec, [&](auto done) {
-        query(via_node).Execute(plan, epoch, options, std::move(done));
-      });
+  return AwaitPending(*this, "query", 600 * sim::kMicrosPerSec,
+                      session(via_node).Query(plan, epoch, options));
 }
 
 }  // namespace orchestra::deploy

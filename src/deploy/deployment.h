@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "client/session.h"
 #include "net/node_host.h"
 #include "overlay/gossip.h"
 #include "overlay/ring.h"
@@ -39,6 +40,9 @@ struct DeploymentOptions {
   /// Per-node LocalStore tuning (compaction thresholds); harnesses lower the
   /// compaction floor so small stores still exercise the GC->compact path.
   localstore::StoreOptions store;
+  /// Per-node client::Session tuning: publish window (pipelining), admission
+  /// control watermarks. Defaults pipeline up to 4 publishes per session.
+  client::SessionOptions session;
 };
 
 class Deployment {
@@ -57,6 +61,9 @@ class Deployment {
   overlay::GossipService& gossip(size_t i) { return *gossip_[i]; }
   storage::Publisher& publisher(size_t i) { return *publishers_[i]; }
   query::QueryService& query(size_t i) { return *query_[i]; }
+  /// The participant-facing API of node i; the synchronous conveniences
+  /// below all route through it.
+  client::Session& session(size_t i) { return *sessions_[i]; }
   std::shared_ptr<storage::SnapshotBoard> board() { return board_; }
   const overlay::RoutingSnapshot& snapshot() const { return board_->current; }
   const DeploymentOptions& options() const { return options_; }
@@ -102,7 +109,8 @@ class Deployment {
   /// Runs for a fixed amount of simulated time.
   void RunFor(sim::SimTime duration);
 
-  // --- Synchronous conveniences (drive the sim until the callback fires) ---
+  // --- Synchronous conveniences (submit through the node's client::Session
+  // and drive the sim until the returned Pending resolves) -----------------
   Status CreateRelation(size_t via_node, const storage::RelationDef& def);
   Result<storage::Epoch> Publish(size_t via_node, storage::UpdateBatch batch);
   Result<std::vector<storage::Tuple>> Retrieve(size_t via_node,
@@ -127,6 +135,7 @@ class Deployment {
   std::vector<std::unique_ptr<storage::StorageService>> storage_;
   std::vector<std::unique_ptr<storage::Publisher>> publishers_;
   std::vector<std::unique_ptr<query::QueryService>> query_;
+  std::vector<std::unique_ptr<client::Session>> sessions_;
 };
 
 }  // namespace orchestra::deploy

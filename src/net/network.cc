@@ -73,9 +73,15 @@ void Network::Send(NodeId from, NodeId to, uint32_t type, std::string payload) {
   // Fault injection: the seeded stream decides this message's fate. A drop
   // loses the message downstream of the sender's NIC (uplink time already
   // spent, nothing reaches the receiver); a delay stretches propagation.
+  // Directional overrides take precedence over the global drop rate, so an
+  // asymmetric partition (A -> B lossy, B -> A clean) is expressible.
   sim::SimTime extra_delay = 0;
-  if (fault_opts_.drop_prob > 0 &&
-      fault_rng_.NextDouble() < fault_opts_.drop_prob) {
+  double drop_prob = fault_opts_.drop_prob;
+  if (!drop_overrides_.empty()) {
+    auto ov = drop_overrides_.find({from, to});
+    if (ov != drop_overrides_.end()) drop_prob = ov->second;
+  }
+  if (drop_prob > 0 && fault_rng_.NextDouble() < drop_prob) {
     fault_counters_.dropped += 1;
     return;
   }
@@ -108,9 +114,30 @@ void Network::EnqueueDelivery(NodeId to, Delivery d, sim::SimTime at) {
       node.traffic.bytes_received += bytes;
       node.traffic.messages_received += 1;
     }
+    InboxPush(node, d);
     node.inbox.push_back(std::move(d));
     if (!node.hung) ScheduleDrain(to, std::max(sim_->now(), node.cpu_free));
   });
+}
+
+void Network::InboxPush(NodeState& node, const Delivery& d) {
+  InboxStats& s = node.inbox_stats;
+  s.messages += 1;
+  s.bytes += d.payload.size();
+  s.max_messages = std::max(s.max_messages, s.messages);
+  s.max_bytes = std::max(s.max_bytes, s.bytes);
+}
+
+void Network::InboxPop(NodeState& node, const Delivery& d) {
+  InboxStats& s = node.inbox_stats;
+  s.messages -= 1;
+  s.bytes -= d.payload.size();
+}
+
+void Network::InboxClear(NodeState& node) {
+  node.inbox_stats.messages = 0;
+  node.inbox_stats.bytes = 0;
+  node.inbox.clear();
 }
 
 void Network::ScheduleDrain(NodeId node, sim::SimTime at) {
@@ -127,6 +154,7 @@ void Network::DrainOne(NodeId node) {
 
   Delivery d = std::move(state.inbox.front());
   state.inbox.pop_front();
+  InboxPop(state, d);
 
   state.cpu_free = std::max(state.cpu_free, sim_->now());
   NodeId prev_draining = draining_node_;
@@ -151,7 +179,7 @@ void Network::KillNode(NodeId node) {
   NodeState& state = nodes_[node];
   if (!state.alive) return;
   state.alive = false;
-  state.inbox.clear();
+  InboxClear(state);
   // TCP reset propagates to every peer holding a connection; with complete
   // routing tables (§III-B) that is every other node. In-order delivery is
   // per-connection: the reset cannot overtake data the dead node already
@@ -174,12 +202,25 @@ void Network::KillNode(NodeId node) {
 
 void Network::HangNode(NodeId node) { nodes_[node].hung = true; }
 
+void Network::UnhangNode(NodeId node) {
+  NodeState& state = nodes_[node];
+  if (!state.alive || !state.hung) return;
+  state.hung = false;
+  // The machine was alive the whole time: its queued backlog survives and
+  // drains now, oldest first (peers' RPCs to it may long since have timed
+  // out; their reply handling tolerates late responses).
+  state.cpu_free = std::max(state.cpu_free, sim_->now());
+  if (!state.inbox.empty()) {
+    ScheduleDrain(node, std::max(sim_->now(), state.cpu_free));
+  }
+}
+
 void Network::ReviveNode(NodeId node) {
   NodeState& state = nodes_[node];
   if (state.alive) return;
   state.alive = true;
   state.hung = false;
-  state.inbox.clear();
+  InboxClear(state);
   // The machine boots "now": its clocks cannot owe time from before death.
   sim::SimTime now = sim_->now();
   state.cpu_free = std::max(state.cpu_free, now);
@@ -204,7 +245,17 @@ void Network::RunOnNode(NodeId node, sim::SimTime at, std::function<void()> fn) 
 void Network::ResetTraffic() {
   total_bytes_ = 0;
   total_messages_ = 0;
-  for (auto& n : nodes_) n.traffic = NodeTraffic{};
+  for (auto& n : nodes_) {
+    n.traffic = NodeTraffic{};
+    n.inbox_stats.max_messages = n.inbox_stats.messages;
+    n.inbox_stats.max_bytes = n.inbox_stats.bytes;
+  }
+}
+
+uint64_t Network::MaxInboxMessages() const {
+  uint64_t m = 0;
+  for (const auto& n : nodes_) m = std::max(m, n.inbox_stats.max_messages);
+  return m;
 }
 
 double Network::AvgPerNodeTraffic() const {

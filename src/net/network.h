@@ -59,9 +59,24 @@ struct NodeTraffic {
   uint64_t messages_received = 0;
 };
 
+/// A node's inbox occupancy: queued-but-undrained deliveries (messages,
+/// drop notices, and node tasks) and their payload bytes, plus high-water
+/// marks since the last ResetTraffic(). This is the admission-control
+/// signal — storage replies advertise it as a load hint, and it is what the
+/// pipelined-publish bench bounds under overload.
+struct InboxStats {
+  uint64_t messages = 0;      // deliveries currently queued
+  uint64_t bytes = 0;         // payload bytes currently queued
+  uint64_t max_messages = 0;  // high-water marks (reset with traffic)
+  uint64_t max_bytes = 0;
+};
+
 /// Fault-injection mix applied to cross-node messages (local loopback, drop
 /// notices, and node tasks are never perturbed). Decisions are drawn from a
 /// dedicated seeded Rng in Send order, so a run is bit-for-bit reproducible.
+/// Per-direction drop overrides (SetDropOverride) model asymmetric
+/// partitions: the ordered pair (from -> to) can drop at its own rate while
+/// the reverse direction stays healthy.
 struct FaultOptions {
   double drop_prob = 0;               // P(message silently lost)
   double delay_prob = 0;              // P(extra propagation delay)
@@ -105,6 +120,9 @@ class Network {
   /// "Hung" machine (§V-C): stops draining its inbox but connections stay
   /// open, so only application-level pings can detect it.
   void HangNode(NodeId node);
+  /// Recovers a hung (still-alive) machine: it resumes draining its inbox,
+  /// backlog first — unlike ReviveNode, nothing queued was lost.
+  void UnhangNode(NodeId node);
   /// Restart after a fail-stop kill: the node processes messages again with
   /// an empty inbox. Everything in flight to it while dead was lost; peers
   /// reconnect implicitly on the next send.
@@ -121,6 +139,14 @@ class Network {
   void SetFaultOptions(FaultOptions opts) { fault_opts_ = opts; }
   const FaultOptions& fault_options() const { return fault_opts_; }
   const FaultCounters& fault_counters() const { return fault_counters_; }
+  /// Asymmetric partition support: the ordered link (from -> to) drops at
+  /// `prob` instead of the global drop_prob; the reverse direction is
+  /// unaffected. Decisions still come from the shared seeded stream in Send
+  /// order, so runs stay reproducible. Remove with ClearDropOverrides().
+  void SetDropOverride(NodeId from, NodeId to, double prob) {
+    drop_overrides_[{from, to}] = prob;
+  }
+  void ClearDropOverrides() { drop_overrides_.clear(); }
 
   /// Charges `micros` of reference-speed CPU to `node` (scaled by its speed).
   /// Must be called from inside a message handler or scheduled node task.
@@ -133,6 +159,10 @@ class Network {
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_messages() const { return total_messages_; }
   const NodeTraffic& traffic(NodeId node) const { return nodes_[node].traffic; }
+  /// Current + high-water inbox occupancy (admission-control signal).
+  const InboxStats& inbox_stats(NodeId node) const { return nodes_[node].inbox_stats; }
+  /// Max over nodes of the inbox message high-water mark.
+  uint64_t MaxInboxMessages() const;
   void ResetTraffic();
   /// Max over nodes of (sent + received); the paper's "per-node traffic" plots
   /// report the average, provided here too.
@@ -165,16 +195,22 @@ class Network {
     // for a dead sender must not overtake these (per-connection TCP order).
     std::map<NodeId, sim::SimTime> last_arrival_from;
     NodeTraffic traffic;
+    InboxStats inbox_stats;
   };
 
   void EnqueueDelivery(NodeId to, Delivery d, sim::SimTime at);
   void ScheduleDrain(NodeId node, sim::SimTime at);
   void DrainOne(NodeId node);
 
+  void InboxPush(NodeState& node, const Delivery& d);
+  void InboxPop(NodeState& node, const Delivery& d);
+  void InboxClear(NodeState& node);
+
   sim::Simulator* sim_;
   const sim::CostModel* costs_;
   LinkParams default_link_;
   std::map<std::pair<NodeId, NodeId>, LinkParams> link_overrides_;
+  std::map<std::pair<NodeId, NodeId>, double> drop_overrides_;
   std::vector<NodeState> nodes_;
   uint64_t total_bytes_ = 0;
   uint64_t total_messages_ = 0;

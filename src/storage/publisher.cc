@@ -6,6 +6,74 @@
 
 namespace orchestra::storage {
 
+/// Everything one in-flight publish owns. Shared between the publish's own
+/// async stages (each RPC callback keeps the handle alive) and — when
+/// pipelined — a chained successor, which holds `prev` until its write gate
+/// resolves. Cross-publish continuation hooks (`on_prepared`, `on_done`)
+/// capture the *successor* weakly so an abandoned pipeline can never form a
+/// shared_ptr cycle; the client::Session retains every in-flight handle.
+struct Publisher::PubState {
+  struct PartitionWork {
+    std::string relation;
+    uint32_t partition = 0;
+    bool has_old_desc = false;
+    PageDescriptor old_desc;
+    std::vector<const Update*> updates;
+    // Parallel to `updates`: encoded key bytes and placement hash, computed
+    // exactly once per update in FetchPages and reused everywhere after
+    // (page sort, tuple writes, wire format) — SHA-1 never runs twice for
+    // the same tuple in a publish.
+    std::vector<std::string> update_keys;
+    std::vector<HashId> update_hashes;
+    Page old_page;  // empty when !has_old_desc
+  };
+
+  struct TupleWrite {
+    std::string relation;
+    TupleId id;
+    std::string tuple_bytes;
+    HashId hash;
+    bool everywhere = false;
+  };
+
+  UpdateBatch batch;
+  std::function<void(Status, Epoch)> cb;
+  Epoch base_epoch = 0;
+  Epoch new_epoch = 0;
+  std::map<std::string, CoordinatorRecord> records;  // base-epoch records
+  size_t outstanding = 0;
+  Status first_error;
+  std::vector<PartitionWork> parts;
+  // Touched partitions per relation (true = new page version is non-empty),
+  // carried from the apply stage to the coordinator construction.
+  std::map<std::string, std::map<uint32_t, bool>> partition_nonempty;
+
+  // Prepared output: what a chained successor bases itself on, and what the
+  // write/commit stages send. Valid once `prepared`; released at Finish.
+  std::vector<TupleWrite> tuple_writes;
+  std::vector<Page> new_pages;
+  std::map<std::string, CoordinatorRecord> out_records;  // new-epoch records
+
+  // Lifecycle. `prepared` -> outputs computed (successors may start);
+  // `done` -> resolved; `committed` -> done with success (commit point
+  // passed, epoch advanced). A successor's writes wait for `committed`.
+  bool prepared = false;
+  bool done = false;
+  bool committed = false;
+  Status final_status;
+  Handle prev;  // chain predecessor; cleared when the write gate resolves
+  std::vector<std::function<void()>> on_prepared;
+  std::vector<std::function<void()>> on_done;
+
+  void FirePrepared() {
+    prepared = true;
+    // Index loop: StartChained may run synchronously and register further
+    // hooks on *other* states, never re-entrantly on this vector.
+    for (size_t i = 0; i < on_prepared.size(); ++i) on_prepared[i]();
+    on_prepared.clear();
+  }
+};
+
 void Publisher::CreateRelation(const RelationDef& def,
                                std::function<void(Status)> cb) {
   // The catalog is replicated at every node (tiny, like Nation/Region §VI-A).
@@ -33,29 +101,74 @@ void Publisher::CreateRelation(const RelationDef& def,
 
 void Publisher::PublishBatch(UpdateBatch batch,
                              std::function<void(Status, Epoch)> cb) {
+  PublishChained(std::move(batch), nullptr, std::move(cb));
+}
+
+Publisher::Handle Publisher::PublishChained(UpdateBatch batch, Handle prev,
+                                            std::function<void(Status, Epoch)> cb) {
   auto st = std::make_shared<PubState>();
   st->batch = std::move(batch);
   st->cb = std::move(cb);
+  pipeline_stats_.publishes += 1;
 
   for (const auto& [rel, updates] : st->batch) {
     if (!service_->Relation(rel).ok()) {
-      st->cb(Status::InvalidArgument("publish to unknown relation " + rel), 0);
-      return;
+      Finish(st, Status::InvalidArgument("publish to unknown relation " + rel));
+      return st;
     }
     (void)updates;
   }
+
+  // Chain only onto a predecessor that is still in flight: its in-memory
+  // output is then by construction the newest epoch this participant can
+  // know about. A *resolved* predecessor carries no such freshness (another
+  // participant may have published since), so that falls back to the full
+  // discovery path.
+  if (prev && !prev->done) {
+    pipeline_stats_.chained += 1;
+    st->prev = std::move(prev);
+    if (st->prev->prepared) {
+      StartChained(st);
+    } else {
+      std::weak_ptr<PubState> weak = st;
+      st->prev->on_prepared.push_back([this, weak] {
+        if (Handle s = weak.lock()) StartChained(s);
+      });
+    }
+    return st;
+  }
+  if (prev) pipeline_stats_.chain_fallbacks += 1;
 
   if (!epoch_discovery_) {
     st->base_epoch = gossip_->epoch();
     st->new_epoch = st->base_epoch + 1;
     BeginPublish(st);
-    return;
+    return st;
   }
-
   DiscoverEpoch(st, /*rounds_left=*/2);
+  return st;
 }
 
-void Publisher::DiscoverEpoch(std::shared_ptr<PubState> st, int rounds_left) {
+void Publisher::StartChained(Handle st) {
+  Handle prev = st->prev;
+  if (prev == nullptr || st->done) return;
+  if (prev->done && !prev->final_status.ok()) {
+    pipeline_stats_.aborted_on_prev += 1;
+    st->prev.reset();
+    Finish(st, Status::Aborted("pipeline predecessor failed: " +
+                               prev->final_status.ToString()));
+    return;
+  }
+  // The predecessor's prepared output IS this publish's base: its new-epoch
+  // coordinator records cover every relation, so discovery and the base
+  // coordinator fetches are skipped entirely.
+  st->base_epoch = prev->new_epoch;
+  st->new_epoch = st->base_epoch + 1;
+  st->records = prev->out_records;
+  FetchPages(st);
+}
+
+void Publisher::DiscoverEpoch(Handle st, int rounds_left) {
   // Stage 0: epoch discovery. Every member reports the highest coordinator
   // epoch it stores; with replication r the newest coordinator record
   // survives on r nodes, so any surviving replica answers with the true
@@ -111,14 +224,14 @@ void Publisher::DiscoverEpoch(std::shared_ptr<PubState> st, int rounds_left) {
   }
 }
 
-void Publisher::BeginPublish(std::shared_ptr<PubState> st) {
+void Publisher::BeginPublish(Handle st) {
   // Stage 1: coordinator records of every relation at the base epoch
   // (needed both for the copy-on-write page lookups and for carrying
   // unchanged relations forward to the new epoch).
   auto rels = service_->RelationNames();
   st->outstanding = rels.size();
   if (rels.empty()) {
-    st->cb(Status::FailedPrecondition("no relations in catalog"), 0);
+    Finish(st, Status::FailedPrecondition("no relations in catalog"));
     return;
   }
   for (const auto& rel : rels) {
@@ -127,9 +240,8 @@ void Publisher::BeginPublish(std::shared_ptr<PubState> st) {
   }
 }
 
-void Publisher::FetchBaseCoordinator(std::shared_ptr<PubState> st,
-                                     const std::string& rel, Epoch epoch,
-                                     int walk_left, int stall_left) {
+void Publisher::FetchBaseCoordinator(Handle st, const std::string& rel,
+                                     Epoch epoch, int walk_left, int stall_left) {
   service_->GetCoordinator(
       rel, epoch,
       [this, st, rel, epoch, walk_left, stall_left](Status s,
@@ -161,7 +273,7 @@ void Publisher::FetchBaseCoordinator(std::shared_ptr<PubState> st,
         if (s.ok()) st->records[rel] = std::move(rec);
         if (--st->outstanding == 0) {
           if (!st->first_error.ok()) {
-            st->cb(st->first_error, 0);
+            Finish(st, st->first_error);
             return;
           }
           FetchPages(st);
@@ -169,17 +281,17 @@ void Publisher::FetchBaseCoordinator(std::shared_ptr<PubState> st,
       });
 }
 
-void Publisher::FetchPages(std::shared_ptr<PubState> st) {
+void Publisher::FetchPages(Handle st) {
   // Group each relation's updates by partition. Each tuple's placement hash
   // is computed here, once, and carried through the rest of the publish.
   for (auto& [rel, updates] : st->batch) {
     const RelationDef* def = service_->FindRelation(rel);
-    std::map<uint32_t, PartitionWork> by_partition;
+    std::map<uint32_t, PubState::PartitionWork> by_partition;
     for (const Update& u : updates) {
       std::string kb = EncodeTupleKey(def->schema, u.tuple);
       HashId h = PlacementHash(*def, kb);
       uint32_t part = PartitionIndexFor(h, def->num_partitions);
-      PartitionWork& pw = by_partition[part];
+      PubState::PartitionWork& pw = by_partition[part];
       pw.relation = rel;
       pw.partition = part;
       pw.updates.push_back(&u);
@@ -205,37 +317,53 @@ void Publisher::FetchPages(std::shared_ptr<PubState> st) {
   // locates it via the inverse node (§IV); with the coordinator record in
   // hand the descriptor already names it, so we go straight to the index
   // node. (ReadInverseLocal/kGetInverse expose the inverse-node path too.)
+  //
+  // Chained publishes: a descriptor at an uncommitted ancestor's epoch names
+  // a page that may still be in flight to its index nodes — it MUST be taken
+  // from that ancestor's in-memory output, which doubles as the pipeline
+  // overlap win: these partitions cost no round trip at all. The walk covers
+  // the whole live chain (a window-4 pipeline can reference pages from three
+  // epochs back); ancestors whose chain link was already cleared have
+  // committed, so their pages are durably fetchable over the network.
+  auto page_from_chain = [&st](const PubState::PartitionWork& pw) -> const Page* {
+    for (const PubState* anc = st->prev.get(); anc != nullptr;
+         anc = anc->prev.get()) {
+      if (pw.old_desc.id.epoch != anc->new_epoch) continue;
+      for (const Page& page : anc->new_pages) {
+        if (page.desc.id.relation == pw.relation &&
+            page.desc.id.partition == pw.partition) {
+          return &page;
+        }
+      }
+      return nullptr;  // right epoch, page missing: fetch over the network
+    }
+    return nullptr;
+  };
   st->outstanding = 1;  // guard against zero fetches
   for (size_t i = 0; i < st->parts.size(); ++i) {
-    if (!st->parts[i].has_old_desc) continue;
+    PubState::PartitionWork& pw = st->parts[i];
+    if (!pw.has_old_desc) continue;
+    if (const Page* cached = page_from_chain(pw)) {
+      pw.old_page = *cached;
+      continue;
+    }
     st->outstanding += 1;
-    service_->GetPage(st->parts[i].old_desc, [this, st, i](Status s, Page page) {
+    service_->GetPage(pw.old_desc, [this, st, i](Status s, Page page) {
       if (!s.ok() && st->first_error.ok()) st->first_error = s;
       if (s.ok()) st->parts[i].old_page = std::move(page);
-      if (--st->outstanding == 0) ApplyAndWrite(st);
+      if (--st->outstanding == 0) Apply(st);
     });
   }
-  if (--st->outstanding == 0) ApplyAndWrite(st);
+  if (--st->outstanding == 0) Apply(st);
 }
 
-void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
+void Publisher::Apply(Handle st) {
   if (!st->first_error.ok()) {
-    st->cb(st->first_error, 0);
+    Finish(st, st->first_error);
     return;
   }
 
-  struct TupleWrite {
-    std::string relation;
-    TupleId id;
-    std::string tuple_bytes;
-    HashId hash;
-    bool everywhere;
-  };
-  std::vector<TupleWrite> tuple_writes;
-  std::vector<Page> new_pages;
-  auto& partition_nonempty = st->partition_nonempty;
-
-  for (PartitionWork& pw : st->parts) {
+  for (PubState::PartitionWork& pw : st->parts) {
     const RelationDef* def = service_->FindRelation(pw.relation);
     // key bytes -> (epoch, hash) of the live version. Hashes come from the
     // old page (for carried-forward tuples) or from FetchPages (for
@@ -261,21 +389,23 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
         // reclaim the dead versions (then the tombstone itself). Writes
         // preserve batch order, so insert+delete of one key in one batch
         // resolves to whichever came last.
-        tuple_writes.push_back(TupleWrite{pw.relation,
-                                          TupleId{kb, st->new_epoch},
-                                          std::string(),
-                                          pw.update_hashes[j],
-                                          def->replicate_everywhere});
+        st->tuple_writes.push_back(
+            PubState::TupleWrite{pw.relation,
+                                 TupleId{kb, st->new_epoch},
+                                 std::string(),
+                                 pw.update_hashes[j],
+                                 def->replicate_everywhere});
         continue;
       }
       ids[kb] = {st->new_epoch, &pw.update_hashes[j]};
       Writer tw;
       EncodeTuple(u->tuple, &tw);
-      tuple_writes.push_back(TupleWrite{pw.relation,
-                                        TupleId{kb, st->new_epoch},
-                                        tw.Release(),
-                                        pw.update_hashes[j],
-                                        def->replicate_everywhere});
+      st->tuple_writes.push_back(
+          PubState::TupleWrite{pw.relation,
+                               TupleId{kb, st->new_epoch},
+                               tw.Release(),
+                               pw.update_hashes[j],
+                               def->replicate_everywhere});
     }
 
     Page page;
@@ -301,12 +431,91 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
       page.ids.push_back(TupleId{std::string(row.key), row.epoch});
       page.hashes.push_back(*row.hash);
     }
-    partition_nonempty[pw.relation][pw.partition] = !page.ids.empty();
+    st->partition_nonempty[pw.relation][pw.partition] = !page.ids.empty();
     // Empty pages are still written (they keep the inverse node current);
     // they simply carry no descriptor in the new coordinator record.
-    new_pages.push_back(std::move(page));
+    st->new_pages.push_back(std::move(page));
   }
 
+  // The publish is now *prepared*: its output (new pages + coordinator
+  // records) exists in memory, so a chained successor can begin its own
+  // fetch/partition/apply stages — overlapping them with this publish's
+  // writes and commit.
+  BuildOutputs(st);
+  st->FirePrepared();
+
+  // Write gate: a chained publish puts nothing on the wire until the
+  // predecessor has fully committed. This keeps the pipeline's failure
+  // story identical to sequential publishing — at most one publish (the
+  // actively-writing one) can leave orphan versions, and it is retried with
+  // the same batch, so the GC sweep's locally-checkable precondition holds.
+  Handle prev = st->prev;
+  if (prev == nullptr) {
+    IssueWrites(st);
+    return;
+  }
+  if (prev->done) {
+    st->prev.reset();
+    if (prev->final_status.ok()) {
+      IssueWrites(st);
+    } else {
+      pipeline_stats_.aborted_on_prev += 1;
+      Finish(st, Status::Aborted("pipeline predecessor failed: " +
+                                 prev->final_status.ToString()));
+    }
+    return;
+  }
+  std::weak_ptr<PubState> weak = st;
+  prev->on_done.push_back([this, weak] {
+    Handle s = weak.lock();
+    if (s == nullptr || s->done) return;
+    Handle p = s->prev;
+    s->prev.reset();
+    if (p != nullptr && !p->final_status.ok()) {
+      pipeline_stats_.aborted_on_prev += 1;
+      Finish(s, Status::Aborted("pipeline predecessor failed: " +
+                                p->final_status.ToString()));
+      return;
+    }
+    IssueWrites(s);
+  });
+}
+
+void Publisher::BuildOutputs(Handle st) {
+  // New-epoch coordinator record for EVERY relation: carry forward untouched
+  // pages, add the new versions of touched non-empty partitions. Built once,
+  // pre-write: the commit stage serializes these, and a chained successor
+  // bases itself on them.
+  for (const auto& rel : service_->RelationNames()) {
+    CoordinatorRecord rec;
+    rec.relation = rel;
+    rec.epoch = st->new_epoch;
+    const CoordinatorRecord& old = st->records[rel];
+    auto changed = st->partition_nonempty.find(rel);
+    for (const PageDescriptor& d : old.pages) {
+      bool touched = changed != st->partition_nonempty.end() &&
+                     changed->second.count(d.id.partition) > 0;
+      if (!touched) rec.pages.push_back(d);
+    }
+    if (changed != st->partition_nonempty.end()) {
+      const RelationDef* def = service_->FindRelation(rel);
+      for (const auto& [part, nonempty] : changed->second) {
+        if (!nonempty) continue;
+        PageDescriptor d;
+        d.id = PageId{rel, st->new_epoch, part};
+        d.num_partitions = def->num_partitions;
+        rec.pages.push_back(d);
+      }
+    }
+    std::sort(rec.pages.begin(), rec.pages.end(),
+              [](const PageDescriptor& a, const PageDescriptor& b) {
+                return a.id.partition < b.id.partition;
+              });
+    st->out_records[rel] = std::move(rec);
+  }
+}
+
+void Publisher::IssueWrites(Handle st) {
   // Stage 3: tuple versions and page versions. Coordinator records — the
   // commit point — only go out once every write here has succeeded
   // (WriteCoordinators), so a torn publish can leave orphan tuples/pages at
@@ -320,7 +529,7 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
   auto dec = [this, st]() {
     if (--st->outstanding == 0) {
       if (!st->first_error.ok()) {
-        FinishIfIdle(st);
+        Finish(st, st->first_error);
       } else {
         WriteCoordinators(st);
       }
@@ -331,13 +540,15 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
   std::vector<net::NodeId> everyone;
   for (const auto& m : snap.members()) everyone.push_back(m.node);
 
-  // 3a: tuple versions, batched per destination node. The wire format leads
-  // each tuple with its placement hash so receivers key their stores without
-  // rehashing (kPutTuples: hash(20B BE), key, epoch, tuple bytes).
-  std::map<net::NodeId, std::map<std::string, Writer>> per_node_rel;
-  std::map<net::NodeId, std::map<std::string, uint64_t>> per_node_rel_count;
+  // 3a: tuple versions, coalesced into ONE multi-relation kPutTuples frame
+  // per destination node — however many relations and partitions the batch
+  // touches, each replica sees a single RPC. The wire format leads each
+  // tuple with its placement hash so receivers key their stores without
+  // rehashing (per relation: rel, n, then hash(20B BE), key, epoch, bytes).
+  std::map<net::NodeId, std::map<std::string_view, Writer>> per_node_rel;
+  std::map<net::NodeId, std::map<std::string_view, uint64_t>> per_node_count;
   std::string hash_be;  // reused 20-byte scratch: no per-tuple allocation
-  for (const TupleWrite& tw : tuple_writes) {
+  for (const PubState::TupleWrite& tw : st->tuple_writes) {
     hash_be.clear();
     tw.hash.AppendBigEndian(&hash_be);
     std::vector<net::NodeId> targets =
@@ -348,26 +559,29 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
       w.PutString(tw.id.key_bytes);
       w.PutVarint64(tw.id.epoch);
       w.PutString(tw.tuple_bytes);
-      per_node_rel_count[t][tw.relation] += 1;
+      per_node_count[t][tw.relation] += 1;
+      pipeline_stats_.tuple_records += 1;
     }
   }
   for (auto& [target, rels] : per_node_rel) {
+    Writer body;
+    body.PutVarint64(rels.size());
     for (auto& [rel, w] : rels) {
-      Writer body;
       body.PutString(rel);
-      body.PutVarint64(per_node_rel_count[target][rel]);
+      body.PutVarint64(per_node_count[target][rel]);
       body.PutRaw(w.data().data(), w.size());
-      st->outstanding += 1;
-      service_->Call(target, kPutTuples, body.Release(),
-                     [track, dec](Status s, const std::string&) {
-                       track(s);
-                       dec();
-                     });
     }
+    st->outstanding += 1;
+    pipeline_stats_.put_frames += 1;
+    service_->Call(target, kPutTuples, body.Release(),
+                   [track, dec](Status s, const std::string&) {
+                     track(s);
+                     dec();
+                   });
   }
 
   // 3b: new page versions to their index nodes.
-  for (const Page& page : new_pages) {
+  for (const Page& page : st->new_pages) {
     const RelationDef* def = service_->FindRelation(page.desc.id.relation);
     Writer w;
     page.EncodeTo(&w);
@@ -385,45 +599,19 @@ void Publisher::ApplyAndWrite(std::shared_ptr<PubState> st) {
   dec();
 }
 
-void Publisher::WriteCoordinators(std::shared_ptr<PubState> st) {
+void Publisher::WriteCoordinators(Handle st) {
   const auto& snap = service_->snapshot();
-  const auto& partition_nonempty = st->partition_nonempty;
   st->outstanding = 1;
   auto track = [st](Status s) {
     if (!s.ok() && st->first_error.ok()) st->first_error = s;
   };
   auto dec = [this, st]() {
-    if (--st->outstanding == 0) FinishIfIdle(st);
+    if (--st->outstanding == 0) Finish(st, st->first_error);
   };
 
-  // Commit: coordinator records for EVERY relation at the new epoch.
-  for (const auto& rel : service_->RelationNames()) {
-    CoordinatorRecord rec;
-    rec.relation = rel;
-    rec.epoch = st->new_epoch;
-    const CoordinatorRecord& old = st->records[rel];
-    auto changed = partition_nonempty.find(rel);
-    // Carry forward untouched pages.
-    for (const PageDescriptor& d : old.pages) {
-      bool touched = changed != partition_nonempty.end() &&
-                     changed->second.count(d.id.partition) > 0;
-      if (!touched) rec.pages.push_back(d);
-    }
-    // Add the new versions of touched, non-empty partitions.
-    if (changed != partition_nonempty.end()) {
-      const RelationDef* def = service_->FindRelation(rel);
-      for (const auto& [part, nonempty] : changed->second) {
-        if (!nonempty) continue;
-        PageDescriptor d;
-        d.id = PageId{rel, st->new_epoch, part};
-        d.num_partitions = def->num_partitions;
-        rec.pages.push_back(d);
-      }
-    }
-    std::sort(rec.pages.begin(), rec.pages.end(),
-              [](const PageDescriptor& a, const PageDescriptor& b) {
-                return a.id.partition < b.id.partition;
-              });
+  // Commit: the prepared coordinator records for EVERY relation at the new
+  // epoch (constructed in BuildOutputs, before the writes went out).
+  for (const auto& [rel, rec] : st->out_records) {
     Writer w;
     rec.EncodeTo(&w);
     auto replicas = snap.ReplicasOf(CoordinatorHash(rel, st->new_epoch),
@@ -435,29 +623,50 @@ void Publisher::WriteCoordinators(std::shared_ptr<PubState> st) {
     });
   }
 
-  if (--st->outstanding == 0) FinishIfIdle(st);
+  if (--st->outstanding == 0) Finish(st, st->first_error);
 }
 
-void Publisher::FinishIfIdle(std::shared_ptr<PubState> st) {
+void Publisher::Finish(Handle st, Status status) {
   if (st->done) return;
   st->done = true;
-  if (!st->first_error.ok()) {
-    st->cb(st->first_error, 0);
-    return;
-  }
-  gossip_->AdvanceTo(st->new_epoch);
-  // Coordinator role: advertise the GC low-watermark. One-way and
-  // best-effort — a node that misses it catches up on the next publish
-  // (SetGcWatermark re-runs retirement even at an unchanged watermark).
-  if (gc_keep_epochs_ > 0 && st->new_epoch > gc_keep_epochs_) {
-    Epoch w = st->new_epoch - gc_keep_epochs_;
-    Writer ww;
-    ww.PutVarint64(w);
-    for (const auto& m : service_->snapshot().members()) {
-      service_->SendOneWay(m.node, kSetWatermark, ww.data());
+  st->final_status = status;
+  if (status.ok()) {
+    st->committed = true;
+    gossip_->AdvanceTo(st->new_epoch);
+    // Coordinator role: advertise the GC low-watermark. One-way and
+    // best-effort — a node that misses it catches up on the next publish or
+    // replica push (SetGcWatermark re-runs retirement even at an unchanged
+    // watermark, and re-replication piggybacks the mark).
+    if (gc_keep_epochs_ > 0 && st->new_epoch > gc_keep_epochs_) {
+      Epoch w = st->new_epoch - gc_keep_epochs_;
+      Writer ww;
+      ww.PutVarint64(w);
+      for (const auto& m : service_->snapshot().members()) {
+        service_->SendOneWay(m.node, kSetWatermark, ww.data());
+      }
     }
   }
-  st->cb(Status::OK(), st->new_epoch);
+  // Continuation hooks fire before the user callback: a successor blocked on
+  // this publish learns its fate (and starts writing, or aborts) first.
+  if (!st->prepared) st->FirePrepared();  // waiters observe done + status
+  for (size_t i = 0; i < st->on_done.size(); ++i) st->on_done[i]();
+  st->on_done.clear();
+  st->prev.reset();
+
+  // Release the heavy state now rather than at handle destruction: a
+  // client::Session keeps the last handle around as its chain tail, and
+  // nothing may chain onto (or read from) a resolved publish.
+  st->batch.clear();
+  st->parts.clear();
+  st->tuple_writes.clear();
+  st->new_pages.clear();
+  st->records.clear();
+  st->out_records.clear();
+  st->partition_nonempty.clear();
+
+  auto cb = std::move(st->cb);
+  st->cb = nullptr;
+  cb(status, status.ok() ? st->new_epoch : 0);
 }
 
 }  // namespace orchestra::storage

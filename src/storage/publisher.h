@@ -11,11 +11,30 @@
 //
 // There is no distributed locking: participants publish disjoint update
 // logs, and conflicts are resolved at import time by reconciliation (§II).
+//
+// Pipelining: PublishChained() lets a client::Session keep a bounded window
+// of publishes in flight. A publish chained onto a still-in-flight
+// predecessor skips epoch discovery and the base-coordinator fetches — it
+// bases itself on the predecessor's in-memory output (its computed
+// coordinator records and new pages) as soon as the predecessor has
+// *prepared* them, overlapping its own fetch/partition/apply stages with the
+// predecessor's tuple/page writes. Two invariants keep this exactly as safe
+// as sequential publishing:
+//   * a chained publish issues NO writes until its predecessor has fully
+//     COMMITTED (coordinator records written) — so a failed predecessor
+//     aborts the successor before it puts a single byte on the wire, and the
+//     only orphan versions a torn pipeline can leave are those of the one
+//     publish that was actively writing (retried with the same batch, the
+//     same-batch idempotency rule the GC sweep already relies on);
+//   * coordinator commits stay strictly ordered along the chain, so the
+//     commit-point and walk-back reasoning from the churn-hardened
+//     sequential path holds unchanged.
 #ifndef ORCHESTRA_STORAGE_PUBLISHER_H_
 #define ORCHESTRA_STORAGE_PUBLISHER_H_
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +60,12 @@ using UpdateBatch = std::map<std::string, std::vector<Update>>;
 
 class Publisher {
  public:
+  /// Opaque in-flight publish state (defined in publisher.cc); handles chain
+  /// pipelined publishes and must be retained by the caller until the
+  /// publish's callback fires (client::Session does this).
+  struct PubState;
+  using Handle = std::shared_ptr<PubState>;
+
   Publisher(StorageService* service, overlay::GossipService* gossip)
       : service_(service), gossip_(gossip) {}
 
@@ -48,17 +73,25 @@ class Publisher {
   /// record at the current epoch.
   void CreateRelation(const RelationDef& def, std::function<void(Status)> cb);
 
-  /// Publishes `batch` as one new epoch. cb receives the new epoch.
-  ///
-  /// Before anything else the publisher discovers the cluster's current
-  /// epoch by asking every routing-table member for the highest coordinator
-  /// epoch it stores (kGetMaxEpoch) and basing the publish on the max of the
-  /// replies and local gossip — multi-node publishing therefore does not
-  /// depend on gossip convergence (gossip stays off by default in tests).
-  /// A failed publish never advances the epoch, and republishing the same
-  /// batch is idempotent: the retry recomputes the same new epoch and
-  /// rewrites byte-identical records over whatever the first attempt landed.
+  /// DEPRECATED shim: publishes `batch` as one new epoch with full epoch
+  /// discovery; cb receives the new epoch. Prefer client::Session, which
+  /// adds pipelining, backpressure, and Pending-based completion on top of
+  /// PublishChained. Semantics are unchanged from the pre-Session API:
+  /// a failed publish never advances the epoch, and republishing the same
+  /// batch is idempotent (the retry recomputes the same new epoch and
+  /// rewrites byte-identical records over whatever the first attempt landed).
   void PublishBatch(UpdateBatch batch, std::function<void(Status, Epoch)> cb);
+
+  /// Pipelined entry point. If `prev` names a publish from this Publisher
+  /// that is still in flight, the new publish chains onto it (see the file
+  /// comment); if `prev` is null or already resolved, this is a fresh
+  /// publish with full epoch discovery — a resolved predecessor gives no
+  /// freshness guarantee (another participant may have published since), so
+  /// chaining onto one is never attempted. Returns the publish's handle
+  /// (already resolved if the batch was rejected synchronously). The handle
+  /// must outlive the publish; cb resolves exactly once.
+  Handle PublishChained(UpdateBatch batch, Handle prev,
+                        std::function<void(Status, Epoch)> cb);
 
   Epoch current_epoch() const { return gossip_->epoch(); }
 
@@ -71,44 +104,28 @@ class Publisher {
   void set_gc_keep_epochs(uint64_t keep) { gc_keep_epochs_ = keep; }
   uint64_t gc_keep_epochs() const { return gc_keep_epochs_; }
 
+  /// Pipeline accounting (bench + regression hooks).
+  struct PipelineStats {
+    uint64_t publishes = 0;        // publishes started
+    uint64_t chained = 0;          // based on an in-flight predecessor
+    uint64_t chain_fallbacks = 0;  // prev handle given but already resolved
+    uint64_t aborted_on_prev = 0;  // aborted because the predecessor failed
+    uint64_t put_frames = 0;       // coalesced kPutTuples frames sent
+    uint64_t tuple_records = 0;    // tuple records carried by those frames
+  };
+  const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
+
  private:
-  struct PartitionWork {
-    std::string relation;
-    uint32_t partition = 0;
-    bool has_old_desc = false;
-    PageDescriptor old_desc;
-    std::vector<const Update*> updates;
-    // Parallel to `updates`: encoded key bytes and placement hash, computed
-    // exactly once per update in FetchPages and reused everywhere after
-    // (page sort, tuple writes, wire format) — SHA-1 never runs twice for
-    // the same tuple in a publish.
-    std::vector<std::string> update_keys;
-    std::vector<HashId> update_hashes;
-    Page old_page;  // empty when !has_old_desc
-  };
-
-  struct PubState {
-    UpdateBatch batch;
-    std::function<void(Status, Epoch)> cb;
-    Epoch base_epoch = 0;
-    Epoch new_epoch = 0;
-    std::map<std::string, CoordinatorRecord> records;
-    size_t outstanding = 0;
-    Status first_error;
-    std::vector<PartitionWork> parts;
-    // Touched partitions per relation (true = new page version is non-empty),
-    // carried from the data/page stage to the coordinator commit stage.
-    std::map<std::string, std::map<uint32_t, bool>> partition_nonempty;
-    bool done = false;
-  };
-
   /// Stage 0: ask every member for its highest stored coordinator epoch;
   /// re-runs the round (up to `rounds_left`) while more than one member
   /// failed to answer, since under single-failure assumptions a committed
   /// record has at least two live replicas — at most one silent member means
   /// at least one holder of the newest record was heard.
-  void DiscoverEpoch(std::shared_ptr<PubState> st, int rounds_left);
-  void BeginPublish(std::shared_ptr<PubState> st);
+  void DiscoverEpoch(Handle st, int rounds_left);
+  void BeginPublish(Handle st);
+  /// Chained stage 1: derive the base (records + epoch) from the
+  /// predecessor's prepared in-memory output; no network round trips.
+  void StartChained(Handle st);
   /// Coordinator fetch with walk-back: a torn earlier publish can leave the
   /// discovered base epoch without a committed coordinator record for some
   /// relation; the newest record at-or-below the base is then the relation's
@@ -116,20 +133,36 @@ class Publisher {
   /// same-epoch re-fetches spaced apart in time: right after a membership
   /// change the record may simply not have re-replicated to the new replica
   /// set yet, and walking back past it would drop committed updates.
-  void FetchBaseCoordinator(std::shared_ptr<PubState> st, const std::string& rel,
-                            Epoch epoch, int walk_left, int stall_left);
-  void FetchPages(std::shared_ptr<PubState> st);
-  void ApplyAndWrite(std::shared_ptr<PubState> st);
+  void FetchBaseCoordinator(Handle st, const std::string& rel, Epoch epoch,
+                            int walk_left, int stall_left);
+  void FetchPages(Handle st);
+  /// Applies the batch copy-on-write: computes the new pages, tuple writes,
+  /// and — via BuildOutputs — the new coordinator records, then *prepares*
+  /// the publish (unblocking a chained successor) before gating its own
+  /// writes on the predecessor's commit.
+  void Apply(Handle st);
+  /// Publishes the prepared writes: tuple versions coalesced into one
+  /// multi-relation kPutTuples frame per destination node, page versions to
+  /// their index nodes. Runs only once the predecessor (if any) committed.
+  void IssueWrites(Handle st);
+  /// Computes the new-epoch coordinator record of every relation from the
+  /// base records plus the touched partitions; stored on the handle for both
+  /// the commit stage and any chained successor.
+  void BuildOutputs(Handle st);
   /// The commit point: coordinator records are written only after every
   /// tuple/page write succeeded, so a coordinator record never references
   /// state that was lost with a failed publish.
-  void WriteCoordinators(std::shared_ptr<PubState> st);
-  void FinishIfIdle(std::shared_ptr<PubState> st);
+  void WriteCoordinators(Handle st);
+  /// Resolves the publish exactly once: on success advances the epoch,
+  /// advertises the GC watermark, and marks the handle committed; always
+  /// fires the handle's continuation hooks before the user callback.
+  void Finish(Handle st, Status status);
 
   StorageService* service_;
   overlay::GossipService* gossip_;
   bool epoch_discovery_ = true;
   uint64_t gc_keep_epochs_ = 0;
+  PipelineStats pipeline_stats_;
 };
 
 }  // namespace orchestra::storage

@@ -1,6 +1,7 @@
 #include "storage/service.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 
 #include "common/log.h"
@@ -33,6 +34,28 @@ StorageService::StorageService(net::NodeHost* host,
       rpc_(host, net::ServiceId::kStorage, kReply),
       store_(store_options) {
   host_->Register(net::ServiceId::kStorage, this);
+  // Every reply this node receives carries the responder's load hint; keep a
+  // timestamped per-peer view for the session's admission control.
+  rpc_.SetLoadHintHandler([this](net::NodeId peer, uint32_t hint) {
+    peer_load_[peer] =
+        PeerLoad{hint, host_->network()->simulator()->now()};
+  });
+}
+
+uint32_t StorageService::LocalLoadHint() const {
+  const net::InboxStats& inbox = host_->network()->inbox_stats(node());
+  uint64_t hint = inbox.messages + inbox.bytes / 1024 + injected_load_hint_;
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(hint, std::numeric_limits<uint32_t>::max()));
+}
+
+uint32_t StorageService::MaxRecentPeerLoad(sim::SimTime window_us) const {
+  sim::SimTime now = host_->network()->simulator()->now();
+  uint32_t worst = 0;
+  for (const auto& [peer, load] : peer_load_) {
+    if (now - load.at <= window_us) worst = std::max(worst, load.hint);
+  }
+  return worst;
 }
 
 // --------------------------------------------------------------------------
@@ -197,7 +220,7 @@ void StorageService::RunAfter(sim::SimTime delay, std::function<void()> fn) {
 void StorageService::Respond(net::NodeId to, uint64_t req_id, Status st,
                              std::string body) {
   net::RpcClient::SendReply(host_, to, net::ServiceId::kStorage, kReply, req_id,
-                            st, std::move(body));
+                            st, std::move(body), LocalLoadHint());
 }
 
 void StorageService::OnConnectionDrop(net::NodeId peer) {
@@ -249,30 +272,40 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       return;
     }
     case kPutTuples: {
-      // Zero-copy receive: every field is consumed as a view of the payload,
-      // and the publisher-computed placement hash is spliced straight into
-      // the data key — no SHA-1, no TupleId/tuple-bytes copies.
-      std::string_view rel;
-      uint64_t n;
-      if (!r->GetStringView(&rel).ok() || !r->GetVarint64(&n).ok()) return;
-      if (FindRelation(rel) == nullptr) {
-        Respond(from, req_id, Status::NotFound("no relation " + std::string(rel)),
-                {});
-        return;
-      }
-      for (uint64_t i = 0; i < n; ++i) {
-        std::string_view hash_be20, key_bytes, tuple_bytes;
-        uint64_t epoch;
-        if (!r->GetRawView(&hash_be20, 20).ok() ||
-            !r->GetStringView(&key_bytes).ok() || !r->GetVarint64(&epoch).ok() ||
-            !r->GetStringView(&tuple_bytes).ok()) {
+      // One coalesced frame per (publish, destination): every tuple write
+      // bound for this node, grouped by relation. Zero-copy receive: every
+      // field is consumed as a view of the payload, and the
+      // publisher-computed placement hash is spliced straight into the data
+      // key — no SHA-1, no TupleId/tuple-bytes copies.
+      uint64_t nrels;
+      if (!r->GetVarint64(&nrels).ok()) return;
+      counters_.puttuples_frames += 1;
+      uint64_t total = 0;
+      for (uint64_t ri = 0; ri < nrels; ++ri) {
+        std::string_view rel;
+        uint64_t n;
+        if (!r->GetStringView(&rel).ok() || !r->GetVarint64(&n).ok()) return;
+        if (FindRelation(rel) == nullptr) {
+          Respond(from, req_id,
+                  Status::NotFound("no relation " + std::string(rel)), {});
           return;
         }
-        store_.Put(keys::DataRaw(rel, hash_be20, key_bytes, epoch), tuple_bytes)
-            .ok();
-        counters_.tuples_stored += 1;
+        for (uint64_t i = 0; i < n; ++i) {
+          std::string_view hash_be20, key_bytes, tuple_bytes;
+          uint64_t epoch;
+          if (!r->GetRawView(&hash_be20, 20).ok() ||
+              !r->GetStringView(&key_bytes).ok() ||
+              !r->GetVarint64(&epoch).ok() ||
+              !r->GetStringView(&tuple_bytes).ok()) {
+            return;
+          }
+          store_.Put(keys::DataRaw(rel, hash_be20, key_bytes, epoch), tuple_bytes)
+              .ok();
+          counters_.tuples_stored += 1;
+        }
+        total += n;
       }
-      ChargeCpu(costs.tuple_write_us * static_cast<double>(n));
+      ChargeCpu(costs.tuple_write_us * static_cast<double>(total));
       Respond(from, req_id, Status::OK(), {});
       return;
     }
@@ -374,8 +407,10 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       return;
     }
     case kReplicaPush: {
-      uint64_t n;
-      if (!r->GetVarint64(&n).ok()) return;
+      uint64_t pusher_watermark, n;
+      if (!r->GetVarint64(&pusher_watermark).ok() || !r->GetVarint64(&n).ok()) {
+        return;
+      }
       for (uint64_t i = 0; i < n; ++i) {
         std::string_view key, value;
         if (!r->GetStringView(&key).ok() || !r->GetStringView(&value).ok()) return;
@@ -393,6 +428,16 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
         }
       }
       ChargeCpu(costs.tuple_write_us * static_cast<double>(n));
+      // Piggybacked GC watermark: a freshly restarted node (its watermark
+      // resets to 0) learns the cluster's mark from the first replica push
+      // instead of waiting for the next publish. Conversely, a push from a
+      // node that lags OUR watermark may have resurrected already-retired
+      // records — re-running retirement at max(theirs, ours) covers both
+      // (SetGcWatermark re-runs the sweep even at an unchanged mark).
+      if (n > 0) {
+        Epoch effective = std::max<Epoch>(pusher_watermark, gc_watermark_);
+        if (effective > 0) SetGcWatermark(effective);
+      }
       Respond(from, req_id, Status::OK(), {});
       return;
     }
@@ -830,6 +875,7 @@ void StorageService::RebalanceTo(const overlay::RoutingSnapshot& snap) {
 
   for (auto& [target, w] : batches) {
     Writer out;
+    out.PutVarint64(gc_watermark_);  // piggybacked GC watermark
     out.PutVarint64(batch_counts[target]);
     out.PutRaw(w.data().data(), w.size());
     Call(target, kReplicaPush, out.Release(), [](Status, const std::string&) {});

@@ -41,7 +41,11 @@ struct SnapshotBoard {
 /// never recompute SHA-1.
 enum StorageCode : uint16_t {
   kCatalogAdd = 1,
-  kPutTuples = 2,  // rel, n, then per tuple: hash(20B BE), key, epoch, bytes
+  // One coalesced frame per destination node and publish: nrels, then per
+  // relation: rel, n, then per tuple: hash(20B BE), key, epoch, bytes. The
+  // publisher batches every tuple write bound for a node — across all
+  // relations and partitions — into a single kPutTuples RPC.
+  kPutTuples = 2,
   kPutPage = 3,
   kPutCoordinator = 4,
   kGetCoordinator = 5,
@@ -51,7 +55,9 @@ enum StorageCode : uint16_t {
   kScanPage = 9,      // Algorithm 1, step 4: ask index node to scan a page
   kFetchTuples = 10,  // Algorithm 1, step 8: index node -> data node
   kTupleData = 11,    // Algorithm 1, step 9: data node -> requester (direct)
-  kReplicaPush = 12,  // background re-replication (PAST-style, §III-C)
+  kReplicaPush = 12,  // background re-replication (PAST-style, §III-C);
+                      // leads with the pusher's GC watermark so a restarted
+                      // node catches up without waiting for the next publish
   kGetMaxEpoch = 13,  // highest coordinator epoch this node stores
   kSetWatermark = 14, // one-way: GC low-watermark advertisement
   kReply = 100,       // RPC reply envelope
@@ -143,6 +149,19 @@ class StorageService : public net::Service {
   size_t active_scan_count() const { return scans_.size(); }
   const net::RpcClient::Counters& rpc_counters() const { return rpc_.counters(); }
 
+  // --- Admission control ----------------------------------------------------
+  /// This node's load measure, advertised in every RPC reply it sends:
+  /// queued inbox deliveries plus queued kilobytes (so a few huge frames
+  /// count like many small ones), plus any injected test load.
+  uint32_t LocalLoadHint() const;
+  /// Test/bench hook: adds a synthetic component to the advertised hint so
+  /// backpressure can be exercised without constructing a real overload.
+  void InjectLoadHint(uint32_t extra) { injected_load_hint_ = extra; }
+  /// The highest load hint any peer reported within the trailing window
+  /// (default 2 s of simulated time) — what a client::Session throttles on.
+  uint32_t MaxRecentPeerLoad(
+      sim::SimTime window_us = 2 * sim::kMicrosPerSec) const;
+
   // --- Distributed reads ----------------------------------------------------
   /// Fetches the coordinator record for (rel, epoch), retrying replicas.
   void GetCoordinator(const std::string& rel, Epoch epoch,
@@ -210,6 +229,9 @@ class StorageService : public net::Service {
     uint64_t coordinators_stored = 0;
     uint64_t scans_served = 0;
     uint64_t tuples_served = 0;
+    // Coalesced publish frames received: one per (publish, destination node)
+    // pair — the RPC-count story of the pipelined publish path.
+    uint64_t puttuples_frames = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -258,6 +280,14 @@ class StorageService : public net::Service {
   Epoch max_epoch_seen_ = 0;
   Epoch gc_watermark_ = 0;
   GcStats gc_;
+  // Admission control: latest load hint per peer (timestamped so stale
+  // reports age out) and the synthetic test component of our own hint.
+  struct PeerLoad {
+    uint32_t hint = 0;
+    sim::SimTime at = 0;
+  };
+  std::unordered_map<net::NodeId, PeerLoad> peer_load_;
+  uint32_t injected_load_hint_ = 0;
 };
 
 }  // namespace orchestra::storage

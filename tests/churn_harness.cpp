@@ -68,6 +68,7 @@ struct Driver {
   Epoch watermark = 0;
 
   std::set<net::NodeId> dead;
+  std::set<net::NodeId> hung;
   bool failed = false;
 
   // --- plumbing -------------------------------------------------------------
@@ -96,11 +97,13 @@ struct Driver {
   }
 
   net::NodeId RandomLive(Rng& r) {
+    // Hung nodes are excluded: they are alive at the TCP level but drain
+    // nothing, so neither a client pinning a session there nor a new fault
+    // targeting them makes sense.
     std::vector<net::NodeId> live;
     for (size_t i = 0; i < dep->size(); ++i) {
-      if (dep->IsAlive(static_cast<net::NodeId>(i))) {
-        live.push_back(static_cast<net::NodeId>(i));
-      }
+      auto n = static_cast<net::NodeId>(i);
+      if (dep->IsAlive(n) && !dep->network().IsHung(n)) live.push_back(n);
     }
     return live[r.Uniform(live.size())];
   }
@@ -118,7 +121,10 @@ struct Driver {
   void RebalanceAll() {
     for (size_t i = 0; i < dep->size(); ++i) {
       auto n = static_cast<net::NodeId>(i);
-      if (dep->IsAlive(n)) dep->storage(i).RebalanceTo(dep->snapshot());
+      // A hung machine is wedged: nothing executes on it until it unhangs.
+      if (dep->IsAlive(n) && !dep->network().IsHung(n)) {
+        dep->storage(i).RebalanceTo(dep->snapshot());
+      }
     }
   }
 
@@ -164,24 +170,72 @@ struct Driver {
     }
   }
 
-  /// Publishes `batch`, retrying (idempotently) across faults and kills.
-  /// Escalates to a convergence repair before the final attempts.
-  bool PublishWithRetry(size_t rel_idx) {
-    UpdateBatch batch = MakeBatch(rel_idx);
+  /// Publishes the round's `publish_window` batches through one node's
+  /// client::Session, retrying the uncommitted suffix (idempotently, in
+  /// order, with the same batches) across faults and kills. Escalates to a
+  /// convergence repair before the final attempts. With a window > 1 the
+  /// batches pipeline inside the session; the harness consumes the committed
+  /// prefix after each attempt and asserts commits stayed in order.
+  bool PublishRound() {
+    const size_t window = std::max<size_t>(1, opts.publish_window);
+    std::vector<std::pair<size_t, UpdateBatch>> work;
+    work.reserve(window);
+    for (size_t i = 0; i < window; ++i) {
+      size_t rel = workload_rng.Uniform(kNumRelations);
+      work.emplace_back(rel, MakeBatch(rel));
+    }
+    size_t committed = 0;  // batches applied to the model so far
+    const sim::SimTime budget =
+        deploy::Deployment::kDefaultWaitUs +
+        60 * sim::kMicrosPerSec * static_cast<sim::SimTime>(window);
     for (size_t attempt = 0; attempt < opts.publish_attempts; ++attempt) {
       if (attempt == opts.publish_attempts - 2) {
-        // Last-but-one attempt: repair the cluster first. If the batch still
-        // cannot publish on a healthy quiescent cluster, that is a bug.
+        // Last-but-one attempt: repair the cluster first. If the batches
+        // still cannot publish on a healthy quiescent cluster, that is a bug.
         Repair();
       }
       net::NodeId via = RandomLive(rng);
-      auto r = dep->Publish(via, batch);
-      if (r.ok()) {
-        if (attempt > 0) report.publish_retries += attempt;
+      client::Session& sess = dep->session(via);
+      std::vector<client::Ticket> tickets;
+      tickets.reserve(work.size() - committed);
+      for (size_t i = committed; i < work.size(); ++i) {
+        tickets.push_back(sess.Submit(work[i].second));  // copy: retries reuse
+      }
+      bool all_resolved = dep->RunUntil(
+          [&tickets] {
+            for (const client::Ticket& t : tickets) {
+              if (!t.epoch.done()) return false;
+            }
+            return true;
+          },
+          budget);
+      if (!all_resolved) {
+        // A ticket can only stay unresolved if something wedged (e.g. the
+        // session node hung mid-flight); cut it loose and retry elsewhere.
+        sess.AbortInFlight(Status::TimedOut("churn round budget expired"));
+      }
+      size_t done_now = 0;
+      for (const client::Ticket& t : tickets) {
+        if (!t.epoch.ok()) break;
+        size_t idx = committed + done_now;
+        ApplyToModel(work[idx].first, work[idx].second, t.epoch.value());
         report.publishes_ok += 1;
-        ApplyToModel(rel_idx, batch, *r);
-        Trace("pub rel=%zu via=%u ep=%llu tries=%zu", rel_idx, via,
-              static_cast<unsigned long long>(*r), attempt + 1);
+        if (done_now > 0) report.pipelined_commits += 1;
+        Trace("pub rel=%zu via=%u ep=%llu win=%zu", work[idx].first, via,
+              static_cast<unsigned long long>(t.epoch.value()), window);
+        ++done_now;
+      }
+      // Pipeline ordering invariant: nothing behind a failed ticket may have
+      // committed (the session fails the whole suffix).
+      for (size_t j = done_now; j < tickets.size(); ++j) {
+        if (tickets[j].epoch.ok()) {
+          return Fail("session committed ticket " + std::to_string(j) +
+                      " after an earlier ticket failed");
+        }
+      }
+      committed += done_now;
+      if (committed == work.size()) {
+        if (attempt > 0) report.publish_retries += attempt;
         return true;
       }
       // Let in-flight fault fallout (timeouts, drop notices) clear a little
@@ -189,14 +243,15 @@ struct Driver {
       dep->RunFor(2 * sim::kMicrosPerSec);
     }
     return Fail("publish failed after " + std::to_string(opts.publish_attempts) +
-                " attempts: batch for " + kRelations[rel_idx]);
+                " attempts: " + std::to_string(work.size() - committed) +
+                " of " + std::to_string(work.size()) + " batches uncommitted");
   }
 
   // --- faults ---------------------------------------------------------------
 
   void MaybeScheduleKill() {
     if (fault_rng.NextDouble() >= opts.kill_prob) return;
-    if (dead.size() >= opts.max_dead) return;
+    if (dead.size() + hung.size() >= opts.max_dead) return;
     net::NodeId victim = RandomLive(fault_rng);
     sim::SimTime delay = static_cast<sim::SimTime>(
         fault_rng.Uniform(3 * sim::kMicrosPerSec));  // lands mid-publish
@@ -206,6 +261,21 @@ struct Driver {
       dead.insert(victim);
       report.kills += 1;
       Trace("kill node=%u", victim);
+    });
+  }
+
+  void MaybeScheduleHang() {
+    if (opts.hang_prob <= 0 || fault_rng.NextDouble() >= opts.hang_prob) return;
+    if (dead.size() + hung.size() >= opts.max_dead) return;
+    net::NodeId victim = RandomLive(fault_rng);
+    sim::SimTime delay = static_cast<sim::SimTime>(
+        fault_rng.Uniform(3 * sim::kMicrosPerSec));  // lands mid-publish
+    dep->sim().ScheduleAfter(delay, [this, victim] {
+      if (!dep->IsAlive(victim) || dep->network().IsHung(victim)) return;
+      dep->network().HangNode(victim);
+      hung.insert(victim);
+      report.hangs += 1;
+      Trace("hang node=%u", victim);
     });
   }
 
@@ -221,11 +291,30 @@ struct Driver {
         ++it;
       }
     }
+    for (auto it = hung.begin(); it != hung.end();) {
+      if (fault_rng.NextDouble() < opts.unhang_prob) {
+        net::NodeId n = *it;
+        it = hung.erase(it);
+        dep->network().UnhangNode(n);
+        report.unhangs += 1;
+        Trace("unhang node=%u", n);
+      } else {
+        ++it;
+      }
+    }
   }
 
-  /// Full repair: faults off, everyone restarted, re-replicated, quiescent.
+  /// Full repair: faults off, everyone unhung + restarted, re-replicated,
+  /// quiescent.
   void Repair() {
     SetChurnFaults(false);
+    for (auto it = hung.begin(); it != hung.end();) {
+      net::NodeId n = *it;
+      it = hung.erase(it);
+      dep->network().UnhangNode(n);
+      report.unhangs += 1;
+      Trace("unhang node=%u (repair)", n);
+    }
     for (auto it = dead.begin(); it != dead.end();) {
       net::NodeId n = *it;
       it = dead.erase(it);
@@ -281,6 +370,14 @@ struct Driver {
 
   bool ConvergeAndCheck() {
     Repair();
+    // After a full repair — every node unhung/restarted and the network
+    // quiescent — the pending RPC tables must have drained: calls to a hung
+    // node resolve through their deadlines, calls to a dead one through
+    // orphan reaping. A leftover entry is a lifecycle leak.
+    if (dep->PendingRpcCount() != 0) {
+      return Fail("pending RPC tables did not drain after repair: " +
+                  std::to_string(dep->PendingRpcCount()) + " entries");
+    }
     // Nudge GC so the storage measurements below see a retired state even if
     // re-replication just resurrected already-retired records.
     if (watermark > 0) {
@@ -422,18 +519,19 @@ struct Driver {
       MaybeRestartDead();
       SetChurnFaults(true);
       MaybeScheduleKill();
-      size_t rel = workload_rng.Uniform(kNumRelations);
-      if (!PublishWithRetry(rel)) break;
-      // Flush any still-pending scheduled kill, then re-replicate around it
-      // so the next round's publish can reach every record.
+      MaybeScheduleHang();
+      if (!PublishRound()) break;
+      // Flush any still-pending scheduled kill/hang, then re-replicate
+      // around it so the next round's publish can reach every record.
       dep->RunFor(3 * sim::kMicrosPerSec + 1);
       if (!dead.empty()) {
         SetChurnFaults(false);
         RebalanceAll();
         Settle();
       }
-      Trace("round=%zu ep=%llu dead=%zu", round,
-            static_cast<unsigned long long>(committed_epoch), dead.size());
+      Trace("round=%zu ep=%llu dead=%zu hung=%zu", round,
+            static_cast<unsigned long long>(committed_epoch), dead.size(),
+            hung.size());
       if (round % opts.check_every == 0 || round == opts.rounds) {
         if (!ConvergeAndCheck()) break;
       }

@@ -35,22 +35,34 @@ struct ChurnOptions {
   int replication = 3;
   uint32_t num_partitions = 8;
 
-  // Workload: each round publishes one batch of upserts/deletes over a fixed
-  // key working set (overwrite-heavy — this is what grows dead versions).
+  // Workload: each round publishes `publish_window` batches of
+  // upserts/deletes over a fixed key working set (overwrite-heavy — this is
+  // what grows dead versions) through one node's client::Session. With a
+  // window > 1 the batches pipeline: later publishes overlap earlier ones'
+  // writes while commits stay strictly ordered, and the harness asserts that
+  // ordering (a commit observed after a failed predecessor fails the run).
   size_t rounds = 100;
   size_t keys = 48;              // working-set size per relation
   size_t updates_per_round = 8;  // updates per published batch
   double delete_prob = 0.15;     // P(update is a delete)
+  size_t publish_window = 1;     // batches submitted (and in flight) per round
 
   // Fault mix. Kills are scheduled to land mid-publish; restarts happen
   // between rounds. max_dead keeps the replica-safety bound of the system
-  // (replication-way storage tolerates replication/2 failures).
+  // (replication-way storage tolerates replication/2 failures); hung nodes
+  // count against the same budget — while hung they serve nothing.
   double kill_prob = 0.08;
   double restart_prob = 0.5;
   size_t max_dead = 1;
   double drop_prob = 0.02;
   double delay_prob = 0.10;
   sim::SimTime max_extra_delay_us = 20 * 1000;
+  // Hung machines (§V-C): the node stops draining its inbox but connections
+  // stay open, so RPCs to it burn their full deadline instead of failing
+  // fast. Unhangs happen between rounds (like restarts) and at every repair;
+  // after each repair the harness asserts the pending RPC tables drained.
+  double hang_prob = 0.0;
+  double unhang_prob = 0.5;
 
   // Convergence cadence: every `check_every` rounds faults pause, dead nodes
   // restart, re-replication runs, and the model-equivalence + GC assertions
@@ -83,6 +95,9 @@ struct ChurnReport {
   uint64_t publish_retries = 0;
   uint64_t kills = 0;
   uint64_t restarts = 0;
+  uint64_t hangs = 0;
+  uint64_t unhangs = 0;
+  uint64_t pipelined_commits = 0;  // commits while >1 publish was in flight
   uint64_t checks = 0;
   uint64_t final_epoch = 0;
 

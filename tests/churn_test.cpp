@@ -18,8 +18,10 @@ using churn::ChurnReport;
 using churn::RunChurn;
 
 // ---------------------------------------------------------------------------
-// Seed sweep: >= 20 distinct seeds, each with crashes, restarts, drops, and
-// delays injected, every run model-equivalent at every convergence point.
+// Seed sweep: >= 20 distinct seeds, each with crashes, restarts, hangs,
+// drops, and delays injected — and session pipelining enabled (window 2), so
+// faults land between overlapped publishes — every run model-equivalent at
+// every convergence point.
 
 TEST(Churn, SeedSweep) {
   constexpr uint64_t kSeeds = 20;
@@ -28,13 +30,16 @@ TEST(Churn, SeedSweep) {
     only_seed = std::strtoull(env, nullptr, 10);
   }
   uint64_t total_kills = 0, total_restarts = 0, total_drops = 0,
-           total_delays = 0;
+           total_delays = 0, total_hangs = 0, total_unhangs = 0,
+           total_pipelined = 0;
   for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
     if (only_seed != 0 && seed != only_seed) continue;
     ChurnOptions opts;
     opts.seed = seed;
     opts.rounds = 30;
     opts.check_every = 10;
+    opts.publish_window = 2;  // pipelined publishing under churn
+    opts.hang_prob = 0.04;    // hung machines join the fault mix
     ChurnReport rep = RunChurn(opts);
     EXPECT_TRUE(rep.ok) << rep.failure << "\ntrace tail:\n"
                         << rep.trace.substr(rep.trace.size() > 2000
@@ -46,14 +51,40 @@ TEST(Churn, SeedSweep) {
     total_restarts += rep.restarts;
     total_drops += rep.faults_dropped;
     total_delays += rep.faults_delayed;
+    total_hangs += rep.hangs;
+    total_unhangs += rep.unhangs;
+    total_pipelined += rep.pipelined_commits;
     if (HasFailure()) break;
   }
   if (only_seed == 0) {
-    // The sweep as a whole must actually exercise every fault class.
+    // The sweep as a whole must actually exercise every fault class AND the
+    // pipelined path (commits that overlapped another in-flight publish).
     EXPECT_GT(total_kills, 0u);
     EXPECT_GT(total_restarts, 0u);
     EXPECT_GT(total_drops, 0u);
     EXPECT_GT(total_delays, 0u);
+    EXPECT_GT(total_hangs, 0u);
+    EXPECT_GT(total_unhangs, 0u);
+    EXPECT_GT(total_pipelined, 0u);
+  }
+}
+
+// Deeper pipeline under churn: window 4, crashes/drops landing between
+// overlapped publishes, model equivalence at every convergence point.
+TEST(Churn, PipelinedWindowFour) {
+  for (uint64_t seed : {11, 12, 13, 14, 15, 16}) {
+    ChurnOptions opts;
+    opts.seed = seed;
+    opts.rounds = 20;
+    opts.check_every = 10;
+    opts.publish_window = 4;
+    ChurnReport rep = RunChurn(opts);
+    EXPECT_TRUE(rep.ok) << rep.failure << "\ntrace tail:\n"
+                        << rep.trace.substr(rep.trace.size() > 2000
+                                                ? rep.trace.size() - 2000
+                                                : 0);
+    EXPECT_GT(rep.pipelined_commits, 0u) << "seed " << seed;
+    if (HasFailure()) break;
   }
 }
 
@@ -66,6 +97,8 @@ TEST(Churn, SameSeedReplaysIdenticalTrace) {
   opts.seed = 77;
   opts.rounds = 25;
   opts.check_every = 10;
+  opts.publish_window = 2;  // determinism must hold for the pipelined path
+  opts.hang_prob = 0.05;
   ChurnReport a = RunChurn(opts);
   ChurnReport b = RunChurn(opts);
   ASSERT_TRUE(a.ok) << a.failure;

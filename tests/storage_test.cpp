@@ -694,6 +694,45 @@ TEST_F(StorageClusterTest, PublisherAdvertisesWatermark) {
   EXPECT_FALSE(below.ok());
 }
 
+// Replica pushes piggyback the GC watermark: a restarted node (whose
+// watermark resets to 0) learns the cluster's mark from re-replication
+// itself, without waiting for the next publish's advertisement.
+TEST(StorageGc, ReplicaPushPiggybacksWatermark) {
+  deploy::DeploymentOptions opts;
+  opts.num_nodes = 4;
+  opts.replication = 3;
+  opts.gc_keep_epochs = 2;
+  deploy::Deployment dep(opts);
+  ASSERT_TRUE(dep.CreateRelation(0, SimpleRelation("R")).ok());
+  Epoch last = 0;
+  for (int i = 0; i < 6; ++i) {
+    UpdateBatch u;
+    u["R"] = {Update::Insert(Row("k" + std::to_string(i % 2), "v" + std::to_string(i)))};
+    auto e = dep.Publish(0, std::move(u));
+    ASSERT_TRUE(e.ok());
+    last = *e;
+  }
+  dep.RunFor(1 * sim::kMicrosPerSec);  // one-way advertisements land
+  const Epoch w = last - opts.gc_keep_epochs;
+  ASSERT_EQ(dep.storage(2).gc_watermark(), w);
+
+  dep.KillNode(2, /*update_routing=*/true, /*rebalance=*/true);
+  dep.RunFor(2 * sim::kMicrosPerSec);
+  // Restart wipes the transient watermark; re-replication must restore it
+  // with NO further publish.
+  dep.RestartNode(2);
+  ASSERT_TRUE(dep.RunUntil([&dep] { return dep.PendingRpcCount() == 0; }));
+  dep.RunFor(500 * sim::kMicrosPerMilli);
+  EXPECT_EQ(dep.storage(2).gc_watermark(), w)
+      << "restarted node did not learn the watermark from replica pushes";
+  // And retirement ran there: epochs below the watermark stay refused.
+  auto below = dep.Retrieve(2, "R", w - 1);
+  EXPECT_FALSE(below.ok());
+  auto at = dep.Retrieve(2, "R", last);
+  ASSERT_TRUE(at.ok());
+  EXPECT_EQ(at->size(), 2u);
+}
+
 // Epoch discovery: publishing via a node whose gossip counter is stale must
 // not fork the epoch line — the publisher asks the cluster first (ROADMAP:
 // multi-node publishing without gossip convergence).
