@@ -9,6 +9,8 @@
 #   ci/check.sh sanitize   # just the ASan/UBSan/LSan stage
 #   ci/check.sh bench      # just the bench JSON smoke stage
 #   ci/check.sh benchdiff  # just the perf-regression diff stage
+#   ci/check.sh docs       # relative-link check over README/docs/ + compile
+#                          # every example program
 #
 # ORCHESTRA_BENCH_TOLERANCE (default 0.35): a fresh entry fails the diff when
 # its ops_per_sec drops below tolerance * committed — generous because wall
@@ -150,12 +152,50 @@ print(msg)
 PY
 }
 
+docs_check() {
+  echo "== docs: relative-link check over README.md + docs/"
+  python3 - <<'PY'
+import os, re, sys
+
+# Markdown links [text](target); http(s)/mailto are skipped, anchors allowed.
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+files = ["README.md"] + sorted(
+    os.path.join("docs", f) for f in os.listdir("docs") if f.endswith(".md"))
+broken = []
+checked = 0
+for path in files:
+    base = os.path.dirname(path)
+    for target in link_re.findall(open(path).read()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue  # same-file anchor
+        checked += 1
+        if not os.path.exists(os.path.normpath(os.path.join(base, rel))):
+            broken.append(f"{path}: broken relative link -> {target}")
+for b in broken:
+    print("  " + b)
+if broken:
+    sys.exit(1)
+print(f"docs links OK: {checked} relative links over {len(files)} files")
+PY
+  echo "== docs: compile every example (tier-1 carries them; this stage fails fast)"
+  cmake -B build -S . > /dev/null
+  local examples
+  examples="$(ls examples/*.cpp | xargs -n1 basename | sed 's/\.cpp$//')"
+  # shellcheck disable=SC2086
+  cmake --build build -j "$jobs" --target $examples
+  echo "docs stage OK: $(echo "$examples" | wc -w) examples compiled"
+}
+
 case "$stage" in
   tier1) tier1 ;;
   sanitize) sanitize ;;
   bench) bench_smoke ;;
   benchdiff) bench_diff ;;
-  all) tier1; sanitize; bench_smoke; bench_diff ;;
-  *) echo "usage: ci/check.sh [tier1|sanitize|bench|benchdiff|all]" >&2; exit 2 ;;
+  docs) docs_check ;;
+  all) tier1; sanitize; bench_smoke; bench_diff; docs_check ;;
+  *) echo "usage: ci/check.sh [tier1|sanitize|bench|benchdiff|docs|all]" >&2; exit 2 ;;
 esac
 echo "== all checks passed"

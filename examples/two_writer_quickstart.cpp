@@ -1,0 +1,103 @@
+// Two-writer quickstart: two collaborating participants publish CONCURRENTLY
+// against one 5-node deployment — including a deliberate same-epoch race —
+// and the store resolves the contention deterministically: one writer per
+// epoch, the loser transparently re-based onto the winner's committed
+// output, both update logs merged in the final state.
+//
+//   build/two_writer_quickstart
+#include <cstdio>
+
+#include "client/session.h"
+#include "deploy/deployment.h"
+
+using namespace orchestra;
+using storage::Tuple;
+using storage::Update;
+using storage::UpdateBatch;
+using storage::Value;
+using storage::ValueType;
+
+namespace {
+
+UpdateBatch Upsert(const std::string& rel, const std::string& k,
+                   const std::string& v) {
+  UpdateBatch b;
+  b[rel] = {Update::Insert(Tuple{Value(k), Value(v)})};
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  // 1. One shared deployment; every node's Session is a distinct participant.
+  deploy::DeploymentOptions opts;
+  opts.num_nodes = 5;
+  opts.gc_keep_epochs = 8;  // multi-epoch GC: min-across-participants mark
+  deploy::Deployment dep(opts);
+
+  client::Session& alice = dep.session(0);
+  client::Session& bob = dep.session(1);
+  std::printf("cluster up: %zu nodes; participants alice=%u bob=%u\n",
+              dep.size(), alice.participant(), bob.participant());
+
+  // 2. A shared relation both participants write DISJOINT rows into (the
+  // paper's model: participants publish disjoint update logs).
+  storage::RelationDef notes;
+  notes.name = "notes";
+  notes.schema = storage::Schema(
+      {{"id", ValueType::kString}, {"text", ValueType::kString}}, 1);
+  dep.CreateRelation(0, notes).ok();
+
+  // 3. The race: both sessions submit in the same instant, so both discover
+  // the same base epoch and claim the same new epoch. Exactly one wins the
+  // claim; the loser waits for the winner's confirmed commit, re-bases onto
+  // it, and commits the NEXT epoch — no torn epochs, no failed tickets.
+  client::Ticket ta = alice.Submit(Upsert("notes", "a:greeting", "hello from alice"));
+  client::Ticket tb = bob.Submit(Upsert("notes", "b:greeting", "hello from bob"));
+  dep.RunUntil([&] { return ta.epoch.done() && tb.epoch.done(); });
+  std::printf("alice committed epoch %llu, bob committed epoch %llu\n",
+              (unsigned long long)ta.epoch.value(),
+              (unsigned long long)tb.epoch.value());
+  uint64_t conflicts = dep.publisher(0).pipeline_stats().epoch_conflicts +
+                       dep.publisher(1).pipeline_stats().epoch_conflicts;
+  uint64_t rebases = dep.publisher(0).pipeline_stats().rebases +
+                     dep.publisher(1).pipeline_stats().rebases;
+  std::printf("epoch contention: %llu claim(s) lost, %llu re-base(s)\n",
+              (unsigned long long)conflicts, (unsigned long long)rebases);
+
+  // 4. Sustained concurrent publishing: each participant pipelines a few
+  // more batches (window > 1 overlaps prepare stages with writes) while the
+  // other does the same.
+  std::vector<client::Ticket> more;
+  for (int i = 0; i < 3; ++i) {
+    more.push_back(
+        alice.Submit(Upsert("notes", "a:" + std::to_string(i), "alice v" + std::to_string(i))));
+    more.push_back(
+        bob.Submit(Upsert("notes", "b:" + std::to_string(i), "bob v" + std::to_string(i))));
+  }
+  Pending<storage::Epoch> fa = alice.Flush();
+  Pending<storage::Epoch> fb = bob.Flush();
+  dep.RunUntil([&] { return fa.done() && fb.done(); });
+  storage::Epoch top = std::max(fa.value(), fb.value());
+  std::printf("flushed: alice@%llu bob@%llu\n", (unsigned long long)fa.value(),
+              (unsigned long long)fb.value());
+
+  // 5. Reads from ANY session see the merged, versioned state.
+  auto rows = dep.Retrieve(3, "notes", top);
+  std::printf("\nnotes at epoch %llu (%zu rows):\n", (unsigned long long)top,
+              rows->size());
+  for (const Tuple& t : *rows) {
+    std::printf("  %s\n", storage::TupleToString(t).c_str());
+  }
+
+  // 6. Time travel still works per epoch: the epoch-race loser's row is
+  // absent from the winner's (earlier) epoch.
+  storage::Epoch lo = std::min(ta.epoch.value(), tb.epoch.value());
+  auto early = dep.Retrieve(3, "notes", lo);
+  std::printf("\nnotes at the contested epoch %llu (winner only, %zu row):\n",
+              (unsigned long long)lo, early->size());
+  for (const Tuple& t : *early) {
+    std::printf("  %s\n", storage::TupleToString(t).c_str());
+  }
+  return 0;
+}

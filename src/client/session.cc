@@ -42,6 +42,7 @@ Session::Session(storage::StorageService* storage, storage::Publisher* publisher
   impl_->query = query;
   impl_->opts = options;
   impl_->opts.max_window = std::max<size_t>(1, impl_->opts.max_window);
+  if (options.participant != 0) publisher->set_participant(options.participant);
   impl_->effective_window =
       impl_->opts.pipeline ? impl_->opts.max_window : 1;
   impl_->stats.min_window_seen = impl_->effective_window;
@@ -243,6 +244,9 @@ void Session::AbortInFlight(Status why) {
 size_t Session::in_flight() const { return impl_->inflight.size(); }
 size_t Session::queued() const { return impl_->queue.size(); }
 size_t Session::window() const { return impl_->effective_window; }
+storage::ParticipantId Session::participant() const {
+  return impl_->publisher->participant();
+}
 storage::Epoch Session::last_epoch() const { return impl_->last_epoch; }
 storage::StorageService* Session::storage() const { return impl_->storage; }
 const Session::Stats& Session::stats() const { return impl_->stats; }

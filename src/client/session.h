@@ -28,6 +28,26 @@
 // launching more work; when load falls below `load_low_watermark` the window
 // recovers one step per launch opportunity. No submitted batch is ever
 // dropped by throttling — it just waits in the queue.
+//
+// Multi-writer: a session publishes for exactly one PARTICIPANT
+// (SessionOptions::participant; 0 keeps the publisher's default of
+// node id + 1). Two-plus sessions with distinct participants may publish
+// concurrently against one deployment: each publish claims its epoch before
+// writing, and a session that loses an epoch race transparently RE-BASES the
+// losing publish (and the pipelined chain behind it) onto the winner's
+// committed output — the ticket simply resolves with a later epoch than an
+// uncontended run would have produced. Contention never tears an epoch (the
+// claim plus the participant-tagged commit gate guarantee one writer per
+// epoch) and never reorders this session's own commits. Sessions sharing one
+// node's publisher share its participant; give concurrent writers distinct
+// nodes or distinct participant ids.
+//
+// Thread/ordering contract: the whole client stack is single-threaded on the
+// simulator loop. Submit/Flush/Retrieve/Query must be called from that
+// thread; Pending continuations and ticket resolutions run on it, in
+// resolution order. Tickets of one session resolve in submission order for
+// successes; a failure resolves the failed ticket and everything behind it
+// (Aborted) before Submit returns new work.
 #ifndef ORCHESTRA_CLIENT_SESSION_H_
 #define ORCHESTRA_CLIENT_SESSION_H_
 
@@ -46,6 +66,11 @@
 namespace orchestra::client {
 
 struct SessionOptions {
+  /// Participant identity this session publishes as. 0 keeps the publisher's
+  /// default (node id + 1). Distinct concurrent writers need distinct
+  /// participants; a non-zero value is installed on the session's publisher
+  /// at construction (one publisher = one participant).
+  storage::ParticipantId participant = 0;
   /// Max publishes in flight. >1 enables pipelined chaining; 1 reproduces
   /// the legacy one-at-a-time behavior exactly.
   size_t max_window = 4;
@@ -115,6 +140,8 @@ class Session {
   size_t queued() const;
   /// Current effective window (admission control may hold it below max).
   size_t window() const;
+  /// The participant identity this session publishes as.
+  storage::ParticipantId participant() const;
   storage::Epoch last_epoch() const;
   storage::StorageService* storage() const;
 

@@ -8,6 +8,15 @@
 // Exactly-once completion is inherited from the layers below (the RPC
 // lifecycle table resolves every call once); Resolve() enforces it locally by
 // ignoring — and reporting — a second resolution attempt.
+//
+// Thread/ordering contract: Pending is NOT thread-safe — producer and
+// consumers must share the (simulated) event-loop thread. Continuations
+// registered with OnReady() fire synchronously inside Resolve(), in
+// registration order, on the resolver's call stack; a continuation may
+// re-enter the owning API (e.g. Submit more work from a ticket callback) and
+// may register further continuations, which then run immediately (the handle
+// is already resolved). Copies share one completion state: resolving any
+// copy resolves them all.
 #ifndef ORCHESTRA_COMMON_PENDING_H_
 #define ORCHESTRA_COMMON_PENDING_H_
 

@@ -15,6 +15,7 @@ const char* CodeName(Status::Code c) {
     case Status::Code::kTimedOut: return "TimedOut";
     case Status::Code::kNotSupported: return "NotSupported";
     case Status::Code::kFailedPrecondition: return "FailedPrecondition";
+    case Status::Code::kEpochTaken: return "EpochTaken";
   }
   return "Unknown";
 }

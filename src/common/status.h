@@ -27,6 +27,8 @@ class Status {
     kTimedOut = 7,
     kNotSupported = 8,
     kFailedPrecondition = 9,
+    kEpochTaken = 10,   // multi-writer epoch contention: another participant
+                        // owns this epoch; the reply body names the winner
   };
 
   Status() = default;  // OK
@@ -45,6 +47,9 @@ class Status {
   static Status FailedPrecondition(std::string_view msg) {
     return Status(Code::kFailedPrecondition, msg);
   }
+  static Status EpochTaken(std::string_view msg) {
+    return Status(Code::kEpochTaken, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -53,6 +58,7 @@ class Status {
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsEpochTaken() const { return code_ == Code::kEpochTaken; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

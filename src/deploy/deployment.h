@@ -32,16 +32,21 @@ struct DeploymentOptions {
   bool start_gossip = false;
   sim::SimTime gossip_interval_us = 500 * sim::kMicrosPerMilli;
   /// Multi-epoch GC: after each successful publish the publisher advertises
-  /// a low-watermark of (new epoch - gc_keep_epochs) and storage nodes retire
-  /// superseded versions below it. 0 keeps every epoch forever (the seed
-  /// behavior); retrievals are then valid at any epoch instead of only
-  /// [watermark, current].
+  /// (participant, new epoch - gc_keep_epochs); storage nodes retire
+  /// superseded versions below the EFFECTIVE watermark — the min across
+  /// active participants, so one slow writer pins retirement and a peer's
+  /// base versions are never retired out from under it. 0 keeps every epoch
+  /// forever (the seed behavior); retrievals are then valid at any epoch
+  /// instead of only [watermark, current].
   uint64_t gc_keep_epochs = 0;
   /// Per-node LocalStore tuning (compaction thresholds); harnesses lower the
   /// compaction floor so small stores still exercise the GC->compact path.
   localstore::StoreOptions store;
   /// Per-node client::Session tuning: publish window (pipelining), admission
   /// control watermarks. Defaults pipeline up to 4 publishes per session.
+  /// Leave `session.participant` at 0: every node's session then publishes
+  /// as its own distinct participant (node id + 1), which is what makes
+  /// concurrent multi-writer publishing across sessions safe.
   client::SessionOptions session;
 };
 

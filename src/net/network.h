@@ -146,7 +146,13 @@ class Network {
   void SetDropOverride(NodeId from, NodeId to, double prob) {
     drop_overrides_[{from, to}] = prob;
   }
+  /// Heals one directed link (removes its override; the global drop_prob
+  /// applies again). No-op if no override is set.
+  void ClearDropOverride(NodeId from, NodeId to) {
+    drop_overrides_.erase({from, to});
+  }
   void ClearDropOverrides() { drop_overrides_.clear(); }
+  size_t drop_override_count() const { return drop_overrides_.size(); }
 
   /// Charges `micros` of reference-speed CPU to `node` (scaled by its speed).
   /// Must be called from inside a message handler or scheduled node task.

@@ -26,6 +26,7 @@ Status MakeStatus(uint8_t code, const std::string& msg) {
     case Status::Code::kTimedOut: return Status::TimedOut(msg);
     case Status::Code::kNotSupported: return Status::NotSupported(msg);
     case Status::Code::kFailedPrecondition: return Status::FailedPrecondition(msg);
+    case Status::Code::kEpochTaken: return Status::EpochTaken(msg);
   }
   return Status::IOError("rpc: unknown status code " + std::to_string(code));
 }

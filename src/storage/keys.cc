@@ -74,6 +74,12 @@ std::string Catalog(std::string_view relation) {
   return k;
 }
 
+std::string EpochClaim(Epoch epoch) {
+  std::string k = "E";
+  AppendEpochBE(&k, epoch);
+  return k;
+}
+
 // --- Inverse parsers --------------------------------------------------------
 // Built on Reader (the same decoder as the wire formats) for the varint
 // length prefixes; the big-endian integers are key-layout-specific (Reader's
@@ -122,6 +128,12 @@ bool ParseCoord(std::string_view key, ParsedCoordKey* out) {
   Reader r(key.substr(1));
   return r.GetStringView(&out->relation).ok() && ReadEpochBE(&r, &out->epoch) &&
          r.AtEnd();
+}
+
+bool ParseClaim(std::string_view key, Epoch* out) {
+  if (key.empty() || key[0] != 'E') return false;
+  Reader r(key.substr(1));
+  return ReadEpochBE(&r, out) && r.AtEnd();
 }
 
 }  // namespace orchestra::storage::keys

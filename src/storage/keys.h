@@ -47,6 +47,12 @@ std::string Coord(std::string_view relation, Epoch epoch);
 /// Catalog entry: 'M' <rel>
 std::string Catalog(std::string_view relation);
 
+/// Epoch-claim record: 'E' <epoch:8B BE>  ->  (participant, node) of the
+/// writer that owns the epoch. Replicated at ClaimHash(epoch); the claim is
+/// the pre-write serialization point of multi-writer publishing (kClaimEpoch)
+/// and is retired by GC like coordinator records once below the watermark.
+std::string EpochClaim(Epoch epoch);
+
 // --- Inverse parsers, used by the GC retirement pass --------------------
 // Each returns false on malformed input (wrong tag, truncation, trailing
 // bytes). The parsed views alias `key`.
@@ -74,6 +80,9 @@ struct ParsedCoordKey {
   Epoch epoch = 0;
 };
 bool ParseCoord(std::string_view key, ParsedCoordKey* out);
+
+/// Epoch of an epoch-claim key.
+bool ParseClaim(std::string_view key, Epoch* out);
 
 }  // namespace orchestra::storage::keys
 

@@ -49,6 +49,15 @@ HashId CoordinatorHash(const std::string& relation, Epoch epoch) {
   return HashId::FromDigest(h.Finish());
 }
 
+HashId ClaimHash(Epoch epoch) {
+  Sha1Hasher h;
+  h.Update("E\x1f");
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(epoch >> (8 * i));
+  h.Update(buf, sizeof(buf));
+  return HashId::FromDigest(h.Finish());
+}
+
 HashId PartitionBegin(uint32_t partition, uint32_t num_partitions) {
   ORC_CHECK(partition < num_partitions, "partition out of range");
   return HashId::SpacePartition(num_partitions).MultiplyBy(partition);
@@ -139,9 +148,24 @@ Status Page::DecodeFrom(Reader* r, Page* out) {
   return Status::OK();
 }
 
+void EpochClaimRecord::EncodeTo(Writer* w) const {
+  w->PutVarint32(participant);
+  w->PutVarint32(node);
+  w->PutBool(committed);
+  w->PutVarint64(nonce);
+}
+
+Status EpochClaimRecord::DecodeFrom(Reader* r, EpochClaimRecord* out) {
+  ORC_RETURN_IF_ERROR(r->GetVarint32(&out->participant));
+  ORC_RETURN_IF_ERROR(r->GetVarint32(&out->node));
+  ORC_RETURN_IF_ERROR(r->GetBool(&out->committed));
+  return r->GetVarint64(&out->nonce);
+}
+
 void CoordinatorRecord::EncodeTo(Writer* w) const {
   w->PutString(relation);
   w->PutVarint64(epoch);
+  w->PutVarint32(participant);
   w->PutVarint64(pages.size());
   for (const auto& p : pages) p.EncodeTo(w);
 }
@@ -149,6 +173,7 @@ void CoordinatorRecord::EncodeTo(Writer* w) const {
 Status CoordinatorRecord::DecodeFrom(Reader* r, CoordinatorRecord* out) {
   ORC_RETURN_IF_ERROR(r->GetString(&out->relation));
   ORC_RETURN_IF_ERROR(r->GetVarint64(&out->epoch));
+  ORC_RETURN_IF_ERROR(r->GetVarint32(&out->participant));
   uint64_t n;
   ORC_RETURN_IF_ERROR(r->GetVarint64(&n));
   out->pages.clear();

@@ -20,6 +20,13 @@ namespace orchestra::storage {
 /// Epoch: the global logical timestamp; advances after each published batch.
 using Epoch = uint64_t;
 
+/// Participant identity: one per collaborating writer (§II — participants
+/// publish disjoint update logs). Epoch claims and coordinator records are
+/// tagged with the publishing participant so concurrent publishers can
+/// detect same-epoch contention deterministically; 0 means "unset" and is
+/// never a valid published identity (Publisher defaults to node id + 1).
+using ParticipantId = uint32_t;
+
 /// "The Tuple ID is the key attribute of a tuple and the epoch in which it
 /// was last modified" (§IV). key_bytes is the order-preserving encoding of
 /// the key attributes; the tuple's hash key is derived from it.
@@ -52,6 +59,12 @@ uint64_t TupleKeyHashCount();
 
 /// Hash location of the relation coordinator for (relation, epoch).
 HashId CoordinatorHash(const std::string& relation, Epoch epoch);
+
+/// Hash location of the epoch-claim record for `epoch` — the single
+/// serialization point concurrent publishers race through before writing
+/// anything at that epoch (kClaimEpoch). Distinct from every relation's
+/// CoordinatorHash so claim traffic spreads independently.
+HashId ClaimHash(Epoch epoch);
 
 /// The partition boundaries: partition i of P covers
 /// [W*i, W*(i+1)) with W = floor(2^160 / P); the last partition absorbs the
@@ -108,11 +121,32 @@ struct Page {
   static Status DecodeFrom(Reader* r, Page* out);
 };
 
+/// Value of an epoch-claim record ('E' keys, see keys::EpochClaim): which
+/// participant owns the epoch, from which node and claim attempt (`nonce` —
+/// releases and idempotent re-grants are instance-exact), and whether the
+/// epoch's commit completed (`committed` — flipped by kConfirmEpoch; only
+/// confirmed epochs are reported by discovery). One codec for every site
+/// that touches claim bytes: the claim handlers, release, confirm, replica-
+/// push merge, restart rebuild, and the publisher's commit probe.
+struct EpochClaimRecord {
+  ParticipantId participant = 0;
+  uint32_t node = 0;
+  bool committed = false;
+  uint64_t nonce = 0;
+
+  void EncodeTo(Writer* w) const;
+  static Status DecodeFrom(Reader* r, EpochClaimRecord* out);
+};
+
 /// "Relation @epoch -> list of pages' IDs & tuple ID hash ranges" (Fig. 3).
-/// Only non-empty partitions carry a descriptor.
+/// Only non-empty partitions carry a descriptor. `participant` tags the
+/// epoch's writer: storage nodes refuse a conflicting same-epoch record from
+/// a different participant with kEpochTaken (first committed writer wins),
+/// which is the authoritative commit-time gate of multi-writer publishing.
 struct CoordinatorRecord {
   std::string relation;
   Epoch epoch = 0;
+  ParticipantId participant = 0;
   std::vector<PageDescriptor> pages;
 
   void EncodeTo(Writer* w) const;

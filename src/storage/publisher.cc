@@ -55,15 +55,58 @@ struct Publisher::PubState {
   std::map<std::string, CoordinatorRecord> out_records;  // new-epoch records
 
   // Lifecycle. `prepared` -> outputs computed (successors may start);
-  // `done` -> resolved; `committed` -> done with success (commit point
-  // passed, epoch advanced). A successor's writes wait for `committed`.
+  // `records_committed` -> every coordinator record acked (successors may
+  // WRITE; the confirm round overlaps them); `done` -> resolved;
+  // `committed` -> done with success (commit point passed and confirmed,
+  // epoch advanced). A successor's writes wait for `records_committed`; its
+  // own COMMIT additionally waits for `done` (commit order + the
+  // fail-the-suffix contract). A contention re-base clears `prepared` again
+  // while the attempt state is rebuilt, so late-chaining successors wait for
+  // the re-based outputs.
   bool prepared = false;
+  bool records_committed = false;
   bool done = false;
   bool committed = false;
   Status final_status;
-  Handle prev;  // chain predecessor; cleared when the write gate resolves
+  Handle prev;         // chain predecessor; cleared when the write gate opens
+  Handle commit_prev;  // retained until the commit gate (prev fully resolved)
   std::vector<std::function<void()>> on_prepared;
+  std::vector<std::function<void()>> on_records_committed;
   std::vector<std::function<void()>> on_done;
+
+  // Multi-writer contention bookkeeping (reset by ResetAttempt). The claim
+  // round runs CONCURRENTLY with the prepare stages (it is started as soon
+  // as the attempt's epoch is known); its outcome is acted on only once the
+  // publish is prepared and its write gate is open (MaybeIssue).
+  enum class ClaimState : uint8_t { kNone, kInFlight, kGranted, kLost, kError };
+  ClaimState claim_state = ClaimState::kNone;
+  uint64_t claim_round = 0;    // generation guard: a re-base invalidates any
+                               // still-in-flight claim round
+  uint64_t claim_nonce = 0;    // instance id the latest round stored
+  ParticipantId claim_winner = 0;  // smallest winner named by a refusal
+  bool claim_split = false;        // we were granted at least one fragment
+  Status claim_error;
+  Epoch claim_attempted = 0;   // epoch a claim round was sent for (fragments
+                               // may be stored; released on failure/loss
+                               // unless writes were issued — see below)
+  Epoch claimed_epoch = 0;     // epoch this publish holds a full claim on
+  bool write_gate_open = false;
+  bool writes_issued = false;  // IssueWrites put bytes on the wire: a failed
+                               // publish then KEEPS its claim, pinning the
+                               // epoch so this participant's same-batch retry
+                               // recommits the SAME epoch byte-identically —
+                               // no other writer can take the epoch and leave
+                               // our partial writes as shadowing orphans
+  int claim_stall_left = 6;    // AwaitWinner probes before failing the batch
+  int rebase_left = 4;         // contention re-bases allowed for this publish
+
+  void FireRecordsCommitted() {
+    records_committed = true;
+    for (size_t i = 0; i < on_records_committed.size(); ++i) {
+      on_records_committed[i]();
+    }
+    on_records_committed.clear();
+  }
 
   void FirePrepared() {
     prepared = true;
@@ -90,6 +133,7 @@ void Publisher::CreateRelation(const RelationDef& def,
     CoordinatorRecord rec;
     rec.relation = def.name;
     rec.epoch = gossip_->epoch();
+    rec.participant = participant_;
     Writer rw;
     rec.EncodeTo(&rw);
     auto replicas = service_->snapshot().ReplicasOf(
@@ -161,10 +205,12 @@ void Publisher::StartChained(Handle st) {
   }
   // The predecessor's prepared output IS this publish's base: its new-epoch
   // coordinator records cover every relation, so discovery and the base
-  // coordinator fetches are skipped entirely.
+  // coordinator fetches are skipped entirely. The epoch claim launches now,
+  // overlapping this publish's prepare stages AND the predecessor's writes.
   st->base_epoch = prev->new_epoch;
   st->new_epoch = st->base_epoch + 1;
   st->records = prev->out_records;
+  StartClaim(st);
   FetchPages(st);
 }
 
@@ -227,16 +273,19 @@ void Publisher::DiscoverEpoch(Handle st, int rounds_left) {
 void Publisher::BeginPublish(Handle st) {
   // Stage 1: coordinator records of every relation at the base epoch
   // (needed both for the copy-on-write page lookups and for carrying
-  // unchanged relations forward to the new epoch).
+  // unchanged relations forward to the new epoch). The epoch claim launches
+  // concurrently — by the time the prepare stages finish, the claim outcome
+  // is usually already in.
   auto rels = service_->RelationNames();
   st->outstanding = rels.size();
   if (rels.empty()) {
     Finish(st, Status::FailedPrecondition("no relations in catalog"));
     return;
   }
+  StartClaim(st);
   for (const auto& rel : rels) {
     FetchBaseCoordinator(st, rel, st->base_epoch, /*walk_left=*/16,
-                         /*stall_left=*/2);
+                         /*stall_left=*/4);
   }
 }
 
@@ -246,25 +295,31 @@ void Publisher::FetchBaseCoordinator(Handle st, const std::string& rel,
       rel, epoch,
       [this, st, rel, epoch, walk_left, stall_left](Status s,
                                                     CoordinatorRecord rec) {
+        if (st->done) return;
         if (s.IsNotFound() && epoch > 0 && stall_left > 0) {
-          // Every replica answered, none has the record — but right after a
-          // membership change the record may exist and simply not have
-          // reached the reshuffled replica set yet. Re-fetch the SAME epoch
-          // after a re-replication-sized pause before trusting the hole.
-          // (Delivered as a node task: dies with this node, fail-stop safe.)
-          service_->RunAfter(2 * sim::kMicrosPerSec, [this, st, rel, epoch,
-                                                      walk_left, stall_left] {
-            FetchBaseCoordinator(st, rel, epoch, walk_left, stall_left - 1);
-          });
+          // Right after a membership change the record may exist and simply
+          // not have reached the reshuffled replica set yet: re-fetch the
+          // SAME epoch after a re-replication-sized pause before trusting
+          // the hole. (Delivered as a node task: dies with this node,
+          // fail-stop safe.)
+          service_->RunAfter(2 * sim::kMicrosPerSec,
+                             [this, st, rel, epoch, walk_left, stall_left] {
+                               FetchBaseCoordinator(st, rel, epoch, walk_left,
+                                                    stall_left - 1);
+                             });
           return;
         }
         if (s.IsNotFound() && epoch > 0 && walk_left > 0) {
-          // A persistent hole: a torn publish never committed this epoch for
-          // this relation — the newest committed record below it carries the
-          // relation's state forward. Transient failures (timeout, drop,
-          // unreachable replicas) must NOT walk back: the record may exist,
-          // and basing the publish below it would silently drop committed
-          // updates. Those fail the publish; retrying the batch is safe.
+          // A persistent hole: this relation has no record at the base —
+          // which happens when it was CREATED after that epoch committed
+          // (CreateRelation writes its first record at the then-current
+          // epoch). The newest record below the base carries its state
+          // forward. This is safe under multi-writer: the base is a
+          // CONFIRMED epoch, and everything at or below a confirmed epoch
+          // is committed (partial records can only exist at the frontier's
+          // wedged successor), so the walk can never absorb uncommitted
+          // state — the stalls above already guarded the replication-lag
+          // case. Transient errors (timeout, drop) still fail the publish.
           FetchBaseCoordinator(st, rel, epoch - 1, walk_left - 1,
                                /*stall_left=*/1);
           return;
@@ -445,40 +500,347 @@ void Publisher::Apply(Handle st) {
   st->FirePrepared();
 
   // Write gate: a chained publish puts nothing on the wire until the
-  // predecessor has fully committed. This keeps the pipeline's failure
-  // story identical to sequential publishing — at most one publish (the
-  // actively-writing one) can leave orphan versions, and it is retried with
-  // the same batch, so the GC sweep's locally-checkable precondition holds.
+  // predecessor's coordinator records are all acked (its commit, minus the
+  // confirm round, which then overlaps our writes); its own COMMIT
+  // additionally waits for the predecessor to fully resolve
+  // (WriteCoordinators). This keeps the pipeline's failure story identical
+  // to sequential publishing — at most one publish per chain can leave
+  // orphan versions at an epoch it claimed, and only its own same-batch
+  // retry can rewrite that epoch, so the GC sweep's locally-checkable
+  // precondition holds. Once the gate opens, the publish must still hold
+  // its epoch CLAIM before anything goes on the wire (MaybeIssue).
   Handle prev = st->prev;
   if (prev == nullptr) {
-    IssueWrites(st);
+    st->write_gate_open = true;
+    MaybeIssue(st);
     return;
   }
-  if (prev->done) {
+  st->commit_prev = prev;  // retained for the commit gate
+  if (prev->records_committed || prev->done) {
     st->prev.reset();
-    if (prev->final_status.ok()) {
-      IssueWrites(st);
-    } else {
-      pipeline_stats_.aborted_on_prev += 1;
-      Finish(st, Status::Aborted("pipeline predecessor failed: " +
-                                 prev->final_status.ToString()));
-    }
+    ReleaseGate(st, prev);
     return;
   }
   std::weak_ptr<PubState> weak = st;
-  prev->on_done.push_back([this, weak] {
+  prev->on_records_committed.push_back([this, weak] {
     Handle s = weak.lock();
     if (s == nullptr || s->done) return;
     Handle p = s->prev;
     s->prev.reset();
-    if (p != nullptr && !p->final_status.ok()) {
-      pipeline_stats_.aborted_on_prev += 1;
-      Finish(s, Status::Aborted("pipeline predecessor failed: " +
-                                p->final_status.ToString()));
+    if (p != nullptr) ReleaseGate(s, p);
+  });
+}
+
+void Publisher::ReleaseGate(Handle st, Handle prev) {
+  if (st->done) return;
+  if (prev->done && !prev->final_status.ok()) {
+    pipeline_stats_.aborted_on_prev += 1;
+    Finish(st, Status::Aborted("pipeline predecessor failed: " +
+                               prev->final_status.ToString()));
+    return;
+  }
+  if (prev->new_epoch != st->base_epoch) {
+    // The predecessor lost an epoch race and re-based: it committed at a
+    // later epoch than the one our prepared output was built against, so our
+    // base coordinator records, page contents, epoch — and the claim round
+    // we launched for it — are all stale. Re-base onto its FINAL output. Its
+    // records are copied here (the hook runs before Finish releases them);
+    // its pages are already durably committed, so the re-run fetches them
+    // over the network. Any fragments our stale claim stored sit at an
+    // epoch at or below the predecessor's committed one — no future claim
+    // ever targets it, and GC sweeps it.
+    pipeline_stats_.chain_rebases += 1;
+    if (written_epochs_.count(st->new_epoch) == 0) {
+      ReleaseClaim(st->new_epoch, st->claim_nonce);
+    }
+    if (prev->done) {
+      // The predecessor already RESOLVED — Finish released its out_records,
+      // so the in-memory copy path would hand us an EMPTY base and silently
+      // drop every relation's carried-forward state. Its committed records
+      // are durable; re-fetch them over the network instead.
+      Rebase(st, prev->new_epoch);
       return;
     }
-    IssueWrites(s);
-  });
+    auto records = prev->out_records;
+    ResetAttempt(st);
+    st->records = std::move(records);
+    st->base_epoch = prev->new_epoch;
+    st->new_epoch = st->base_epoch + 1;
+    StartClaim(st);
+    FetchPages(st);
+    return;
+  }
+  st->write_gate_open = true;
+  MaybeIssue(st);
+}
+
+void Publisher::ResetAttempt(Handle st) {
+  st->records.clear();
+  st->parts.clear();
+  st->tuple_writes.clear();
+  st->new_pages.clear();
+  st->out_records.clear();
+  st->partition_nonempty.clear();
+  st->first_error = Status::OK();
+  st->outstanding = 0;
+  // Late-chaining successors must wait for the re-based outputs.
+  st->prepared = false;
+  st->write_gate_open = false;
+  // Invalidate any in-flight claim round (its completion becomes a no-op).
+  st->claim_round += 1;
+  st->claim_state = PubState::ClaimState::kNone;
+  st->claim_nonce = 0;
+  st->claim_winner = 0;
+  st->claim_split = false;
+  st->claim_error = Status::OK();
+  st->claim_attempted = 0;
+  st->claimed_epoch = 0;
+  st->writes_issued = false;
+  st->claim_stall_left = 6;
+}
+
+void Publisher::ReleaseClaim(Epoch epoch, uint64_t nonce) {
+  Writer w;
+  w.PutVarint64(epoch);
+  w.PutVarint32(participant_);
+  w.PutVarint64(nonce);
+  auto replicas =
+      service_->snapshot().ReplicasOf(ClaimHash(epoch), service_->replication());
+  for (net::NodeId r : replicas) {
+    service_->SendOneWay(r, kReleaseEpoch, w.data());
+  }
+}
+
+void Publisher::StartClaim(Handle st) {
+  if (st->done) return;
+  const Epoch epoch = st->new_epoch;
+  const uint64_t round_id = ++st->claim_round;
+  st->claim_state = PubState::ClaimState::kInFlight;
+  st->claim_attempted = epoch;
+  auto replicas =
+      service_->snapshot().ReplicasOf(ClaimHash(epoch), service_->replication());
+  if (replicas.empty()) {  // degenerate single-node teardown; nothing to race
+    st->claim_state = PubState::ClaimState::kGranted;
+    st->claimed_epoch = epoch;
+    MaybeIssue(st);
+    return;
+  }
+  // The requester needs EVERY replica to grant: under the single-failure
+  // assumption any two claim rounds for one epoch overlap on at least one
+  // live replica, so two full claims for the same epoch cannot both be
+  // granted (the same overlap argument epoch discovery already relies on).
+  struct Round {
+    size_t outstanding = 0;
+    size_t granted = 0;
+    bool any_taken = false;
+    ParticipantId winner = 0;  // smallest winner named by a refusal
+    Status error;              // first non-taken failure
+  };
+  auto round = std::make_shared<Round>();
+  round->outstanding = replicas.size();
+  st->claim_nonce = ++claim_seq_;
+  Writer w;
+  w.PutVarint64(epoch);
+  w.PutVarint32(participant_);
+  w.PutVarint32(service_->node());
+  w.PutVarint64(st->claim_nonce);
+  std::string body = w.Release();
+  for (net::NodeId target : replicas) {
+    service_->Call(
+        target, kClaimEpoch, body,
+        [this, st, round, round_id, epoch](Status s, const std::string& reply) {
+          if (s.ok()) {
+            round->granted += 1;
+          } else if (s.IsEpochTaken()) {
+            round->any_taken = true;
+            Reader r(reply);
+            uint32_t p = 0;
+            if (r.GetVarint32(&p).ok() &&
+                (round->winner == 0 || p < round->winner)) {
+              round->winner = p;
+            }
+          } else if (round->error.ok()) {
+            round->error = s;
+          }
+          if (--round->outstanding > 0) return;
+          if (st->done || round_id != st->claim_round) return;  // stale round
+          if (round->any_taken) {
+            pipeline_stats_.epoch_conflicts += 1;
+            st->claim_state = PubState::ClaimState::kLost;
+            st->claim_winner = round->winner;
+            st->claim_split = round->granted > 0;
+          } else if (!round->error.ok()) {
+            st->claim_state = PubState::ClaimState::kError;
+            st->claim_error = round->error;
+          } else {
+            st->claim_state = PubState::ClaimState::kGranted;
+            st->claimed_epoch = epoch;
+          }
+          MaybeIssue(st);
+        },
+        kEpochDiscoveryTimeoutUs);
+  }
+}
+
+void Publisher::MaybeIssue(Handle st) {
+  // Writes launch once all three hold: outputs prepared, write gate open
+  // (predecessor's records acked), claim round resolved. The claim usually
+  // resolves first — it was launched with the prepare stages.
+  if (st->done || !st->prepared || !st->write_gate_open || st->writes_issued) {
+    return;
+  }
+  switch (st->claim_state) {
+    case PubState::ClaimState::kNone:
+    case PubState::ClaimState::kInFlight:
+      return;  // claim completion re-enters
+    case PubState::ClaimState::kGranted:
+      IssueWrites(st);
+      return;
+    case PubState::ClaimState::kError:
+      // A claim replica was unreachable: fail the batch (retryable);
+      // fragments we stored are released by Finish.
+      Finish(st, st->claim_error);
+      return;
+    case PubState::ClaimState::kLost: {
+      bool split = st->claim_split;
+      st->claim_state = PubState::ClaimState::kNone;  // consumed
+      LoseEpoch(st, st->new_epoch, split);
+      return;
+    }
+  }
+}
+
+void Publisher::LoseEpoch(Handle st, Epoch contested, bool split) {
+  if (st->done) return;
+  // Our fragments (replicas that granted before another writer was stored)
+  // must not wedge the epoch for everyone else. We issued no writes (claims
+  // precede writes), so releasing is always safe here — and the release is
+  // instance-exact (nonce), so it can never unpin a later attempt.
+  if (split && written_epochs_.count(contested) == 0) {
+    ReleaseClaim(contested, st->claim_nonce);
+  }
+  // There is deliberately NO takeover of another participant's claim — not
+  // even of a split or seemingly-dead one. Any takeover rule that looks
+  // safe locally breaks under membership churn (a kill reshuffles the claim
+  // replica set, so a "split" view can coexist with a full claim on the old
+  // set whose holder is writing). Instead: wait for the holder to commit
+  // (then re-base) or to release/retry (then re-claim). Split-claim races
+  // where nobody won resolve themselves because AwaitWinner's stall delay
+  // carries a deterministic per-participant phase offset — contenders
+  // re-claim at distinct times, and the first one wins the whole slot.
+  AwaitWinner(st, contested);
+}
+
+void Publisher::AwaitWinner(Handle st, Epoch contested) {
+  if (st->done) return;
+  if (st->claim_stall_left-- <= 0) {
+    // The winner has neither committed nor released within the stall budget
+    // (it may be wedged on a hung node). Fail the batch; the session's
+    // same-batch retry discipline re-runs discovery + claim later, and the
+    // winner's own retry (or its release) eventually unwedges the epoch.
+    Finish(st, Status::Unavailable(
+                   "epoch " + std::to_string(contested) +
+                   " claimed by another participant that has not committed"));
+    return;
+  }
+  // Probe the claim's `committed` flag — NOT a coordinator record. A torn
+  // commit leaves partial records at the contested epoch, and basing on
+  // those would absorb the winner's uncommitted (and possibly cross-attempt
+  // inconsistent) state; the confirm flag is flipped only after EVERY record
+  // of the epoch was acked.
+  Writer w;
+  w.PutVarint64(contested);
+  auto replicas = service_->snapshot().ReplicasOf(ClaimHash(contested),
+                                                  service_->replication());
+  service_->Call(
+      replicas.empty() ? service_->node() : replicas.front(), kGetEpochClaim,
+      w.Release(),
+      [this, st, contested](Status s, const std::string& reply) {
+        if (st->done) return;
+        if (s.ok()) {
+          Reader r(reply);
+          EpochClaimRecord claim;
+          if (EpochClaimRecord::DecodeFrom(&r, &claim).ok() && claim.committed) {
+            Rebase(st, contested);
+            return;
+          }
+        }
+        // Not committed yet: re-claim after a pause. If the winner's publish
+        // failed and released the claim, the re-claim is granted and this
+        // publish proceeds at its ORIGINAL epoch with its prepared outputs
+        // intact; otherwise the refusal routes back here with one less
+        // stall. The pause carries a deterministic per-participant phase
+        // offset so split-claim contenders re-claim at distinct times and
+        // the earliest one wins the whole slot (no takeover needed).
+        sim::SimTime pause = 2 * sim::kMicrosPerSec +
+                             static_cast<sim::SimTime>(participant_) *
+                                 (sim::kMicrosPerSec / 4);
+        service_->RunAfter(pause, [this, st] {
+          StartClaim(st);
+        });
+      },
+      kEpochDiscoveryTimeoutUs);
+}
+
+void Publisher::Rebase(Handle st, Epoch base) {
+  if (st->done) return;
+  if (--st->rebase_left < 0) {
+    Finish(st, Status::Aborted("epoch contention: rebase budget exhausted"));
+    return;
+  }
+  pipeline_stats_.rebases += 1;
+  ResetAttempt(st);
+  st->base_epoch = base;
+  st->new_epoch = base + 1;
+  auto rels = service_->RelationNames();
+  if (rels.empty()) {
+    Finish(st, Status::FailedPrecondition("no relations in catalog"));
+    return;
+  }
+  StartClaim(st);  // overlaps the re-based record fetches
+  st->outstanding = rels.size();
+  for (const auto& rel : rels) {
+    FetchRebaseCoordinator(st, rel, base, /*walk_left=*/16, /*stall_left=*/3);
+  }
+}
+
+void Publisher::FetchRebaseCoordinator(Handle st, const std::string& rel,
+                                       Epoch base, int walk_left,
+                                       int stall_left) {
+  // The winner's confirmed commit covers every relation IT knew — a
+  // relation created after its BuildOutputs has no record at `base`, and
+  // the newest record below carries it forward (safe for the same reason as
+  // FetchBaseCoordinator's walk: everything at or below a confirmed epoch
+  // is committed). Stalls come first so a replication-lagged record is not
+  // walked past.
+  service_->GetCoordinator(
+      rel, base,
+      [this, st, rel, base, walk_left, stall_left](Status s,
+                                                   CoordinatorRecord rec) {
+        if (st->done) return;
+        if (s.IsNotFound() && stall_left > 0) {
+          service_->RunAfter(2 * sim::kMicrosPerSec,
+                             [this, st, rel, base, walk_left, stall_left] {
+                               FetchRebaseCoordinator(st, rel, base, walk_left,
+                                                      stall_left - 1);
+                             });
+          return;
+        }
+        if (s.IsNotFound() && base > 0 && walk_left > 0) {
+          FetchRebaseCoordinator(st, rel, base - 1, walk_left - 1,
+                                 /*stall_left=*/1);
+          return;
+        }
+        if (!s.ok() && st->first_error.ok()) st->first_error = s;
+        if (s.ok()) st->records[rel] = std::move(rec);
+        if (--st->outstanding == 0) {
+          if (!st->first_error.ok()) {
+            Finish(st, st->first_error);
+            return;
+          }
+          FetchPages(st);
+        }
+      });
 }
 
 void Publisher::BuildOutputs(Handle st) {
@@ -490,6 +852,12 @@ void Publisher::BuildOutputs(Handle st) {
     CoordinatorRecord rec;
     rec.relation = rel;
     rec.epoch = st->new_epoch;
+    rec.participant = participant_;
+    // Every relation's base record must be present: committing from a
+    // default-constructed base would silently drop the relation's entire
+    // carried-forward state at this epoch.
+    ORC_CHECK(st->records.count(rel) > 0,
+              "publish base is missing a relation's coordinator record");
     const CoordinatorRecord& old = st->records[rel];
     auto changed = st->partition_nonempty.find(rel);
     for (const PageDescriptor& d : old.pages) {
@@ -539,6 +907,9 @@ void Publisher::IssueWrites(Handle st) {
   const auto& snap = service_->snapshot();
   std::vector<net::NodeId> everyone;
   for (const auto& m : snap.members()) everyone.push_back(m.node);
+
+  st->writes_issued = true;
+  written_epochs_.insert(st->new_epoch);
 
   // 3a: tuple versions, coalesced into ONE multi-relation kPutTuples frame
   // per destination node — however many relations and partitions the batch
@@ -600,13 +971,67 @@ void Publisher::IssueWrites(Handle st) {
 }
 
 void Publisher::WriteCoordinators(Handle st) {
+  // Commit gate: a chained publish commits only after its predecessor fully
+  // resolved (including the confirm round, which overlapped our writes). A
+  // predecessor that failed at any stage aborts us here, BEFORE our commit —
+  // the fail-the-suffix contract; our issued writes stay pinned by our claim
+  // and are rewritten byte-identically by the same-batch retry.
+  Handle cp = st->commit_prev;
+  if (cp != nullptr && !cp->done) {
+    std::weak_ptr<PubState> weak = st;
+    cp->on_done.push_back([this, weak] {
+      Handle s = weak.lock();
+      if (s == nullptr || s->done) return;
+      CommitAfterPrev(s);
+    });
+    return;
+  }
+  CommitAfterPrev(st);
+}
+
+void Publisher::CommitAfterPrev(Handle st) {
+  if (st->done) return;
+  Handle cp = st->commit_prev;
+  st->commit_prev.reset();
+  if (cp != nullptr && !cp->final_status.ok()) {
+    pipeline_stats_.aborted_on_prev += 1;
+    Finish(st, Status::Aborted("pipeline predecessor failed: " +
+                               cp->final_status.ToString()));
+    return;
+  }
   const auto& snap = service_->snapshot();
   st->outstanding = 1;
   auto track = [st](Status s) {
-    if (!s.ok() && st->first_error.ok()) st->first_error = s;
+    // A kEpochTaken refusal outranks transient errors: it means another
+    // participant committed this epoch and this publish must re-base, not
+    // merely retry.
+    if (s.IsEpochTaken()) {
+      st->first_error = s;
+    } else if (!s.ok() && st->first_error.ok()) {
+      st->first_error = s;
+    }
   };
   auto dec = [this, st]() {
-    if (--st->outstanding == 0) Finish(st, st->first_error);
+    if (--st->outstanding > 0) return;
+    if (st->first_error.IsEpochTaken()) {
+      // Commit-time contention (the backstop gate): another writer committed
+      // our epoch despite the claim — possible only when the claim replica
+      // set was wiped out by simultaneous membership churn. Our claim is
+      // moot; re-base onto the committed epoch and re-publish the batch.
+      pipeline_stats_.epoch_conflicts += 1;
+      ReleaseClaim(st->new_epoch, st->claim_nonce);
+      st->claim_attempted = 0;
+      Rebase(st, st->new_epoch);
+      return;
+    }
+    if (!st->first_error.ok()) {
+      Finish(st, st->first_error);
+      return;
+    }
+    // Every coordinator record acked: successors may start WRITING now —
+    // their commits still wait for our confirm via the commit gate.
+    st->FireRecordsCommitted();
+    ConfirmEpoch(st);
   };
 
   // Commit: the prepared coordinator records for EVERY relation at the new
@@ -623,7 +1048,29 @@ void Publisher::WriteCoordinators(Handle st) {
     });
   }
 
-  if (--st->outstanding == 0) Finish(st, st->first_error);
+  dec();
+}
+
+void Publisher::ConfirmEpoch(Handle st) {
+  if (st->done) return;
+  // The commit is durable (every coordinator record acked); publish the fact
+  // to the claim replicas so discovery reports this epoch as the frontier.
+  // Runs BEFORE the user callback resolves: a participant that observes its
+  // ticket committed is guaranteed the next discovery sees the epoch.
+  Writer w;
+  w.PutVarint64(st->new_epoch);
+  w.PutVarint32(participant_);
+  w.PutVarint32(service_->node());
+  w.PutVarint64(st->claim_nonce);
+  auto replicas = service_->snapshot().ReplicasOf(ClaimHash(st->new_epoch),
+                                                  service_->replication());
+  if (replicas.empty()) {
+    Finish(st, Status::OK());
+    return;
+  }
+  service_->CallAll(replicas, kConfirmEpoch, w.data(), [this, st](Status s) {
+    Finish(st, s);
+  });
 }
 
 void Publisher::Finish(Handle st, Status status) {
@@ -632,26 +1079,49 @@ void Publisher::Finish(Handle st, Status status) {
   st->final_status = status;
   if (status.ok()) {
     st->committed = true;
+    // The frontier passed every epoch at or below this commit: our partial
+    // writes there (if any) are either this very commit or superseded by it,
+    // and those epochs can never be claimed again.
+    written_epochs_.erase(written_epochs_.begin(),
+                          written_epochs_.upper_bound(st->new_epoch));
     gossip_->AdvanceTo(st->new_epoch);
-    // Coordinator role: advertise the GC low-watermark. One-way and
-    // best-effort — a node that misses it catches up on the next publish or
-    // replica push (SetGcWatermark re-runs retirement even at an unchanged
-    // watermark, and re-replication piggybacks the mark).
-    if (gc_keep_epochs_ > 0 && st->new_epoch > gc_keep_epochs_) {
-      Epoch w = st->new_epoch - gc_keep_epochs_;
+    // Coordinator role: advertise this PARTICIPANT's GC low-watermark. The
+    // storage nodes retire below the min across active participants, so a
+    // mark of 0 (committed epoch still inside the keep window) registers the
+    // participant and holds retirement back rather than being skipped.
+    // One-way and best-effort — a node that misses it catches up on the next
+    // publish or replica push (which piggybacks the participant table).
+    if (gc_keep_epochs_ > 0) {
+      Epoch w = st->new_epoch > gc_keep_epochs_ ? st->new_epoch - gc_keep_epochs_
+                                                : 0;
       Writer ww;
+      ww.PutVarint32(participant_);
       ww.PutVarint64(w);
       for (const auto& m : service_->snapshot().members()) {
         service_->SendOneWay(m.node, kSetWatermark, ww.data());
       }
     }
+  } else if (st->claim_attempted != 0 && !st->writes_issued &&
+             written_epochs_.count(st->claim_attempted) == 0) {
+    // The failed publish holds a claim (or fragments) at an epoch THIS
+    // PARTICIPANT never wrote to — by any attempt, not just this one;
+    // release so other participants are not wedged waiting for a commit
+    // that will never come. A written-at epoch keeps its claim instead: the
+    // pinned epoch guarantees this participant's same-batch retry recommits
+    // the SAME epoch over the partial writes (byte-identical), which is
+    // what keeps the GC sweep's newest-version rule safe — releasing would
+    // let another writer take the epoch and turn the partial writes into
+    // shadowing orphans.
+    ReleaseClaim(st->claim_attempted, st->claim_nonce);
   }
   // Continuation hooks fire before the user callback: a successor blocked on
   // this publish learns its fate (and starts writing, or aborts) first.
   if (!st->prepared) st->FirePrepared();  // waiters observe done + status
+  if (!st->records_committed) st->FireRecordsCommitted();  // ditto (failures)
   for (size_t i = 0; i < st->on_done.size(); ++i) st->on_done[i]();
   st->on_done.clear();
   st->prev.reset();
+  st->commit_prev.reset();
 
   // Release the heavy state now rather than at handle destruction: a
   // client::Session keeps the last handle around as its chain tail, and

@@ -12,29 +12,58 @@
 // There is no distributed locking: participants publish disjoint update
 // logs, and conflicts are resolved at import time by reconciliation (§II).
 //
+// Multi-writer contention: each publisher carries a ParticipantId, and two
+// publishers may race for the same new epoch. The race is decided in two
+// deterministic stages:
+//   * CLAIM (pre-write): before issuing any write, a publish claims its
+//     epoch at the claim replicas (kClaimEpoch, first-come, idempotent per
+//     participant). A refused claim (kEpochTaken naming the winner) means
+//     the loser has written NOTHING at that epoch — it waits for the
+//     winner's commit and then RE-BASES: it re-runs its fetch/partition/
+//     apply stages on top of the winner's committed output (the same
+//     machinery a chained publish uses for an in-memory base) and claims the
+//     next epoch. A held claim is NEVER taken over — takeover rules break
+//     under membership churn — so a wedged epoch waits for its holder's
+//     same-batch retry (idempotent re-claim) or its instance-exact release;
+//     split races (nobody won a full claim) self-resolve through
+//     deterministic per-participant retry phases.
+//   * COMMIT (authoritative): coordinator records are participant-tagged and
+//     storage nodes refuse a conflicting same-epoch record with kEpochTaken
+//     (first committed writer wins), so even a claim-set wiped out by
+//     simultaneous membership churn cannot let two writers both commit one
+//     epoch. A commit-stage loser re-bases exactly like a claim-stage loser.
+// A re-based publish re-publishes its ORIGINAL batch at the higher epoch, so
+// any orphan tuple/page versions its first attempt left behind are
+// superseded by its own committed versions — the GC sweep's same-batch
+// precondition holds for contention losers by construction.
+//
 // Pipelining: PublishChained() lets a client::Session keep a bounded window
 // of publishes in flight. A publish chained onto a still-in-flight
 // predecessor skips epoch discovery and the base-coordinator fetches — it
 // bases itself on the predecessor's in-memory output (its computed
 // coordinator records and new pages) as soon as the predecessor has
 // *prepared* them, overlapping its own fetch/partition/apply stages with the
-// predecessor's tuple/page writes. Two invariants keep this exactly as safe
-// as sequential publishing:
-//   * a chained publish issues NO writes until its predecessor has fully
-//     COMMITTED (coordinator records written) — so a failed predecessor
-//     aborts the successor before it puts a single byte on the wire, and the
-//     only orphan versions a torn pipeline can leave are those of the one
-//     publish that was actively writing (retried with the same batch, the
-//     same-batch idempotency rule the GC sweep already relies on);
-//   * coordinator commits stay strictly ordered along the chain, so the
-//     commit-point and walk-back reasoning from the churn-hardened
-//     sequential path holds unchanged.
+// predecessor's tuple/page writes (and claims its own epoch concurrently
+// with those stages). Two gates keep this exactly as safe as sequential
+// publishing:
+//   * WRITE gate — a chained publish issues no writes until every
+//     coordinator record of its predecessor is acked (the predecessor's
+//     confirm round then overlaps the successor's writes), so a failed
+//     predecessor aborts the successor before it puts a byte on the wire
+//     whenever the failure precedes the commit;
+//   * COMMIT gate — the successor's own coordinator records go out only
+//     once the predecessor fully resolved, so commits stay strictly ordered
+//     and a predecessor that failed even at its confirm stage aborts the
+//     successor BEFORE its commit (the fail-the-suffix contract). The
+//     successor's already-issued writes stay claim-pinned and are rewritten
+//     byte-identically by the same-batch retry.
 #ifndef ORCHESTRA_STORAGE_PUBLISHER_H_
 #define ORCHESTRA_STORAGE_PUBLISHER_H_
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -67,7 +96,15 @@ class Publisher {
   using Handle = std::shared_ptr<PubState>;
 
   Publisher(StorageService* service, overlay::GossipService* gossip)
-      : service_(service), gossip_(gossip) {}
+      : service_(service),
+        gossip_(gossip),
+        participant_(service->node() + 1) {}
+
+  /// This publisher's participant identity (defaults to node id + 1, which
+  /// is unique per node and never 0). One publisher publishes for exactly
+  /// one participant; epoch claims and coordinator records carry it.
+  ParticipantId participant() const { return participant_; }
+  void set_participant(ParticipantId p) { participant_ = p; }
 
   /// Registers a relation everywhere and writes its (empty) coordinator
   /// record at the current epoch.
@@ -112,6 +149,10 @@ class Publisher {
     uint64_t aborted_on_prev = 0;  // aborted because the predecessor failed
     uint64_t put_frames = 0;       // coalesced kPutTuples frames sent
     uint64_t tuple_records = 0;    // tuple records carried by those frames
+    // Multi-writer contention accounting.
+    uint64_t epoch_conflicts = 0;  // claims or commits lost to another writer
+    uint64_t rebases = 0;          // publishes re-based onto a winner's epoch
+    uint64_t chain_rebases = 0;    // successors re-based after a prev rebase
   };
   const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
 
@@ -126,13 +167,15 @@ class Publisher {
   /// Chained stage 1: derive the base (records + epoch) from the
   /// predecessor's prepared in-memory output; no network round trips.
   void StartChained(Handle st);
-  /// Coordinator fetch with walk-back: a torn earlier publish can leave the
-  /// discovered base epoch without a committed coordinator record for some
-  /// relation; the newest record at-or-below the base is then the relation's
-  /// true committed state. A NotFound is only trusted after `stall_left`
-  /// same-epoch re-fetches spaced apart in time: right after a membership
-  /// change the record may simply not have re-replicated to the new replica
-  /// set yet, and walking back past it would drop committed updates.
+  /// Base coordinator fetch. The discovered base is always a CONFIRMED
+  /// epoch, so a missing record means either replication lag (the fetch
+  /// re-tries the SAME epoch `stall_left` times spaced apart in time first)
+  /// or a relation CREATED after that epoch committed — whose newest record
+  /// below the base then carries its state forward (bounded walk-back).
+  /// The walk is safe under multi-writer because everything at or below a
+  /// confirmed epoch is committed (partial records exist only at the
+  /// frontier's wedged successor), so it can never absorb a torn publish's
+  /// output. Transient errors still fail the (retryable) publish.
   void FetchBaseCoordinator(Handle st, const std::string& rel, Epoch epoch,
                             int walk_left, int stall_left);
   void FetchPages(Handle st);
@@ -149,10 +192,67 @@ class Publisher {
   /// base records plus the touched partitions; stored on the handle for both
   /// the commit stage and any chained successor.
   void BuildOutputs(Handle st);
+  /// Write-gate release for a chained publish: runs when the predecessor's
+  /// coordinator records are all acked (its confirm round then overlaps this
+  /// publish's writes) or when it resolved early with a failure. Aborts on
+  /// predecessor failure, re-bases (ResetAttempt + network re-fetch) when
+  /// the predecessor committed at a different epoch than the one this
+  /// publish prepared against (i.e. it re-based under contention), and
+  /// otherwise opens the write gate.
+  void ReleaseGate(Handle st, Handle prev);
+  /// Starts a claim round for the attempt's epoch: one kClaimEpoch per claim
+  /// replica. Launched as soon as the epoch is known (overlapping the
+  /// prepare stages and, for chained publishes, the predecessor's writes);
+  /// the outcome is recorded on the handle and acted upon by MaybeIssue.
+  void StartClaim(Handle st);
+  /// Joins the three conditions writes wait for — outputs prepared, write
+  /// gate open, claim round resolved — and acts on the claim outcome:
+  /// granted -> IssueWrites, lost -> LoseEpoch/AwaitWinner, error -> Finish.
+  void MaybeIssue(Handle st);
+  /// A claim was refused. Releases any fragments this publish holds
+  /// (instance-exact via the claim nonce), then waits for the winner's
+  /// commit via AwaitWinner. A claim is NEVER taken over — not even a split
+  /// or seemingly-dead one: takeover rules break under membership churn
+  /// (the claim replica set reshuffles on every kill), and the holder's
+  /// partial writes could be shadowed. Split-claim races resolve through
+  /// AwaitWinner's deterministic per-participant stall phase instead.
+  void LoseEpoch(Handle st, Epoch contested, bool split);
+  /// Stall loop of a claim loser: probes for the winner's committed
+  /// coordinator record at the contested epoch. Found -> Rebase; not found
+  /// -> re-claim (the winner may have failed and released) until the stall
+  /// budget runs out, then fail the publish (the session retries the batch).
+  void AwaitWinner(Handle st, Epoch contested);
+  /// Re-bases a contention loser onto the winner's committed output: resets
+  /// the attempt state, fetches the committed coordinator records at `base`,
+  /// and re-runs FetchPages/Apply/claim at base + 1. Bounded per publish.
+  void Rebase(Handle st, Epoch base);
+  void FetchRebaseCoordinator(Handle st, const std::string& rel, Epoch base,
+                              int walk_left, int stall_left);
+  /// One-way claim cleanup: deletes this participant's claim (fragments) at
+  /// `epoch` on the claim replicas — only the exact instance named by
+  /// `nonce`, so a delayed release can never unpin a newer attempt's claim.
+  /// Sent when a publish that claimed (or may hold claim fragments at)
+  /// `epoch` fails or loses the epoch.
+  void ReleaseClaim(Epoch epoch, uint64_t nonce);
+  /// Clears all per-attempt state so a re-base can re-run the pipeline
+  /// stages against a new base; keeps the batch, callback, and chain hooks.
+  static void ResetAttempt(Handle st);
   /// The commit point: coordinator records are written only after every
   /// tuple/page write succeeded, so a coordinator record never references
-  /// state that was lost with a failed publish.
+  /// state that was lost with a failed publish. Participant-tagged; a
+  /// kEpochTaken reply (commit-time contention) triggers a re-base instead
+  /// of failing the batch. For a chained publish this is also the COMMIT
+  /// gate: the records go out only once the predecessor fully resolved
+  /// (commit order; a predecessor that failed its confirm aborts this
+  /// publish before its commit, preserving the fail-the-suffix contract).
   void WriteCoordinators(Handle st);
+  void CommitAfterPrev(Handle st);
+  /// Post-commit confirmation: flips the epoch claim's `committed` flag on
+  /// the claim replicas so discovery can report the epoch. Runs after every
+  /// coordinator record landed; a failed confirmation fails the publish
+  /// (the records are durable — the same-batch retry re-claims, rewrites
+  /// byte-identically, and re-confirms).
+  void ConfirmEpoch(Handle st);
   /// Resolves the publish exactly once: on success advances the epoch,
   /// advertises the GC watermark, and marks the handle committed; always
   /// fires the handle's continuation hooks before the user callback.
@@ -160,8 +260,20 @@ class Publisher {
 
   StorageService* service_;
   overlay::GossipService* gossip_;
+  ParticipantId participant_;
   bool epoch_discovery_ = true;
   uint64_t gc_keep_epochs_ = 0;
+  /// Claim-attempt nonce source: every claim round stores a fresh
+  /// (participant, nonce) instance, making releases instance-exact under
+  /// message delay/reordering.
+  uint64_t claim_seq_ = 0;
+  /// Epochs THIS participant has issued writes at that are not yet committed:
+  /// the claim on such an epoch must never be released — not even by a later
+  /// attempt of the same batch that failed before writing — because only this
+  /// participant's same-batch retry may rewrite the epoch byte-identically
+  /// over the partial writes. Entries at or below a committed epoch are
+  /// dropped (the frontier passed them; they can never be claimed again).
+  std::set<Epoch> written_epochs_;
   PipelineStats pipeline_stats_;
 };
 

@@ -248,8 +248,35 @@ void StorageService::OnMessage(net::NodeId from, uint16_t code,
     return;
   }
   if (code == kSetWatermark) {
+    uint32_t participant;
     uint64_t w;
-    if (r.GetVarint64(&w).ok()) SetGcWatermark(w);
+    if (r.GetVarint32(&participant).ok() && r.GetVarint64(&w).ok()) {
+      SetParticipantWatermark(participant, w);
+    }
+    return;
+  }
+  if (code == kReleaseEpoch) {
+    // One-way claim cleanup from a failed publish: delete the claim only if
+    // it is still the EXACT instance the releaser stored — matched by
+    // (participant, nonce). A successor claimant's slot is not ours to
+    // clear, and neither is a NEWER attempt of the same participant (a
+    // delayed release from a dead attempt must not unpin the epoch its
+    // retry re-claimed and is writing at).
+    uint64_t epoch, nonce;
+    uint32_t participant;
+    if (!r.GetVarint64(&epoch).ok() || !r.GetVarint32(&participant).ok() ||
+        !r.GetVarint64(&nonce).ok()) {
+      return;
+    }
+    auto cur = store_.Get(keys::EpochClaim(epoch));
+    if (!cur.ok()) return;
+    Reader cr(cur.value());
+    EpochClaimRecord stored;
+    if (EpochClaimRecord::DecodeFrom(&cr, &stored).ok() &&
+        stored.participant == participant && stored.nonce == nonce &&
+        !stored.committed) {
+      store_.Delete(keys::EpochClaim(epoch)).ok();
+    }
     return;
   }
   uint64_t req_id;
@@ -341,10 +368,71 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
         Respond(from, req_id, Status::Corruption("bad coordinator record"), {});
         return;
       }
+      // Multi-writer commit gate: the first committed writer of (rel, epoch)
+      // wins. A record from the SAME participant overwrites freely (the
+      // byte-identical same-batch retry); a conflicting participant is
+      // refused with kEpochTaken carrying the stored winner so it can
+      // re-base onto the committed epoch instead of tearing it.
+      auto existing = store_.Get(keys::Coord(rec.relation, rec.epoch));
+      if (existing.ok()) {
+        Reader er(existing.value());
+        CoordinatorRecord old;
+        if (CoordinatorRecord::DecodeFrom(&er, &old).ok() &&
+            old.participant != 0 && rec.participant != 0 &&
+            old.participant != rec.participant) {
+          counters_.coordinator_conflicts += 1;
+          Writer wb;
+          wb.PutVarint32(old.participant);
+          Respond(from, req_id,
+                  Status::EpochTaken("coordinator " + rec.relation + "@" +
+                                     std::to_string(rec.epoch) +
+                                     " already committed by participant " +
+                                     std::to_string(old.participant)),
+                  wb.Release());
+          return;
+        }
+      }
       store_.Put(keys::Coord(rec.relation, rec.epoch), rec_bytes).ok();
       counters_.coordinators_stored += 1;
-      max_epoch_seen_ = std::max(max_epoch_seen_, rec.epoch);
+      // Deliberately does NOT advance max_epoch_seen_: a torn publish leaves
+      // partial records, and discovery basing on them would absorb
+      // uncommitted updates. Only kConfirmEpoch advances the frontier.
       Respond(from, req_id, Status::OK(), {});
+      return;
+    }
+    case kClaimEpoch:
+      HandleClaimEpoch(from, r, req_id);
+      return;
+    case kConfirmEpoch: {
+      // The epoch's coordinator records are all written: mark the claim
+      // committed so discovery (kGetMaxEpoch) can report the epoch. Stored
+      // even if the claim is missing here — after membership churn the new
+      // claim replicas must still learn the confirmed frontier.
+      uint64_t epoch, nonce;
+      uint32_t participant, claimant_node;
+      if (!r->GetVarint64(&epoch).ok() || !r->GetVarint32(&participant).ok() ||
+          !r->GetVarint32(&claimant_node).ok() || !r->GetVarint64(&nonce).ok()) {
+        Respond(from, req_id, Status::Corruption("bad epoch confirm"), {});
+        return;
+      }
+      EpochClaimRecord rec{participant, claimant_node, /*committed=*/true,
+                           nonce};
+      Writer w;
+      rec.EncodeTo(&w);
+      store_.Put(keys::EpochClaim(epoch), w.data()).ok();
+      max_epoch_seen_ = std::max(max_epoch_seen_, epoch);
+      Respond(from, req_id, Status::OK(), {});
+      return;
+    }
+    case kGetEpochClaim: {
+      uint64_t epoch;
+      if (!r->GetVarint64(&epoch).ok()) return;
+      auto bytes = store_.Get(keys::EpochClaim(epoch));
+      if (!bytes.ok()) {
+        Respond(from, req_id, bytes.status(), {});
+      } else {
+        Respond(from, req_id, Status::OK(), std::move(bytes).value());
+      }
       return;
     }
     case kGetMaxEpoch: {
@@ -407,37 +495,94 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       return;
     }
     case kReplicaPush: {
-      uint64_t pusher_watermark, n;
-      if (!r->GetVarint64(&pusher_watermark).ok() || !r->GetVarint64(&n).ok()) {
-        return;
+      // Leads with the pusher's participant-watermark table so a restarted
+      // node re-learns every participant's mark (not just a scalar) from
+      // re-replication; the effective watermark is recomputed as the min.
+      uint64_t mark_count, n;
+      if (!r->GetVarint64(&mark_count).ok()) return;
+      std::vector<std::pair<ParticipantId, Epoch>> pushed_marks;
+      pushed_marks.reserve(mark_count);
+      for (uint64_t i = 0; i < mark_count; ++i) {
+        uint32_t p;
+        uint64_t m;
+        if (!r->GetVarint32(&p).ok() || !r->GetVarint64(&m).ok()) return;
+        pushed_marks.emplace_back(p, m);
       }
+      if (!r->GetVarint64(&n).ok()) return;
       for (uint64_t i = 0; i < n; ++i) {
         std::string_view key, value;
         if (!r->GetStringView(&key).ok() || !r->GetStringView(&value).ok()) return;
+        if (!key.empty() && key[0] == 'E') {
+          // Epoch claims merge by commit status: a CONFIRMED claim replaces
+          // an unconfirmed one (the commit is a fact), but never vice versa.
+          Reader vr(value);
+          EpochClaimRecord pushed;
+          if (EpochClaimRecord::DecodeFrom(&vr, &pushed).ok()) {
+            bool have_committed = false;
+            auto curv = store_.Get(key);
+            if (curv.ok()) {
+              Reader cr(curv.value());
+              EpochClaimRecord mine;
+              if (EpochClaimRecord::DecodeFrom(&cr, &mine).ok()) {
+                have_committed = mine.committed;
+              }
+            }
+            if (!curv.ok() || (pushed.committed && !have_committed)) {
+              store_.Put(key, value).ok();
+            }
+            if (pushed.committed) {
+              Epoch ce;
+              if (keys::ParseClaim(key, &ce)) {
+                max_epoch_seen_ = std::max(max_epoch_seen_, ce);
+              }
+            }
+          }
+          continue;
+        }
+        if (!key.empty() && key[0] == 'C') {
+          // Coordinator records replicate store-if-absent like everything
+          // else, EXCEPT when replicas disagree about a (rel, epoch)'s
+          // writer — possible only after the commit-gate backstop fired
+          // under a claim-replica wipeout. Store-if-absent would then
+          // freeze the disagreement forever (neither writer's pushes could
+          // ever overwrite the other's replicas); merging toward the
+          // smaller participant makes every replica CONVERGE to one
+          // deterministic writer per epoch instead.
+          auto curv = store_.Get(key);
+          if (!curv.ok()) {
+            store_.Put(key, value).ok();
+          } else {
+            Reader pr(value);
+            Reader cr(curv.value());
+            CoordinatorRecord pushed, mine;
+            if (CoordinatorRecord::DecodeFrom(&pr, &pushed).ok() &&
+                CoordinatorRecord::DecodeFrom(&cr, &mine).ok() &&
+                pushed.participant != 0 && mine.participant != 0 &&
+                pushed.participant < mine.participant) {
+              store_.Put(key, value).ok();
+            }
+          }
+          continue;
+        }
         if (!store_.Contains(key)) store_.Put(key, value).ok();
         if (!key.empty() && key[0] == 'M') {
           Reader cr(value);
           RelationDef def;
           if (RelationDef::DecodeFrom(&cr, &def).ok()) catalog_[def.name] = def;
         }
-        if (!key.empty() && key[0] == 'C') {
-          keys::ParsedCoordKey ck;
-          if (keys::ParseCoord(key, &ck)) {
-            max_epoch_seen_ = std::max(max_epoch_seen_, ck.epoch);
-          }
-        }
       }
       ChargeCpu(costs.tuple_write_us * static_cast<double>(n));
-      // Piggybacked GC watermark: a freshly restarted node (its watermark
-      // resets to 0) learns the cluster's mark from the first replica push
-      // instead of waiting for the next publish. Conversely, a push from a
-      // node that lags OUR watermark may have resurrected already-retired
-      // records — re-running retirement at max(theirs, ours) covers both
-      // (SetGcWatermark re-runs the sweep even at an unchanged mark).
-      if (n > 0) {
-        Epoch effective = std::max<Epoch>(pusher_watermark, gc_watermark_);
-        if (effective > 0) SetGcWatermark(effective);
-      }
+      // Piggybacked GC watermarks: a freshly restarted node (its table
+      // resets empty) learns every participant's mark from the first replica
+      // push instead of waiting for the next advertisements. Conversely, a
+      // push from a node that lags OUR watermark may have resurrected
+      // already-retired records. Marks are merged WITHOUT per-mark
+      // retirement and the sweep runs ONCE at the end — a push used to run
+      // a full-store sweep per mark plus one more.
+      for (const auto& [p, m] : pushed_marks) MergeParticipantMark(p, m);
+      Epoch effective = EffectiveParticipantWatermark();
+      if (effective > gc_watermark_) gc_watermark_ = effective;
+      if (n > 0 && gc_watermark_ > 0) RetireBelowWatermark();
       Respond(from, req_id, Status::OK(), {});
       return;
     }
@@ -447,6 +592,76 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
     default:
       Respond(from, req_id, Status::NotSupported("unknown storage code"), {});
   }
+}
+
+void StorageService::HandleClaimEpoch(net::NodeId from, Reader* r,
+                                      uint64_t req_id) {
+  // The pre-write serialization point of multi-writer publishing. Body:
+  // epoch, participant, claimant node, attempt nonce. Grant rules, in order:
+  //   * empty slot                        -> store, grant;
+  //   * stored participant == requester   -> grant (idempotent retry; node
+  //                                          and nonce refresh to the newest
+  //                                          attempt's);
+  //   * otherwise                         -> kEpochTaken, body names the
+  //                                          stored winner instance.
+  // There is deliberately NO takeover rule — not for "split" claims and not
+  // for claims whose holder node died. Any takeover breaks under membership
+  // churn (a kill reshuffles the claim replica set, so a takeover can seize
+  // an epoch whose holder held a full claim on the previous set and already
+  // wrote at it). A wedged epoch is unwedged only by its own participant's
+  // same-batch retry (idempotent re-grant) or its instance-exact release;
+  // split races resolve through the publishers' per-participant stall
+  // phases (see Publisher::LoseEpoch).
+  uint64_t epoch, nonce;
+  uint32_t participant, claimant_node;
+  if (!r->GetVarint64(&epoch).ok() || !r->GetVarint32(&participant).ok() ||
+      !r->GetVarint32(&claimant_node).ok() || !r->GetVarint64(&nonce).ok()) {
+    Respond(from, req_id, Status::Corruption("bad epoch claim"), {});
+    return;
+  }
+  ChargeCpu(host_->network()->costs().tuple_scan_us);
+  // `committed` is flipped by kConfirmEpoch once the epoch's coordinator
+  // records are all written; an idempotent re-grant preserves it (a
+  // publisher retrying a publish that failed after its commit round must
+  // not un-commit the epoch).
+  auto grant = [&](bool committed, uint64_t stored_nonce) {
+    EpochClaimRecord rec{participant, claimant_node, committed, stored_nonce};
+    Writer w;
+    rec.EncodeTo(&w);
+    store_.Put(keys::EpochClaim(epoch), w.data()).ok();
+    counters_.claims_granted += 1;
+    Respond(from, req_id, Status::OK(), {});
+  };
+  auto cur = store_.Get(keys::EpochClaim(epoch));
+  if (!cur.ok()) {
+    grant(false, nonce);
+    return;
+  }
+  Reader cr(cur.value());
+  EpochClaimRecord stored;
+  if (!EpochClaimRecord::DecodeFrom(&cr, &stored).ok()) {
+    grant(false, nonce);  // malformed slot: treat as empty
+    return;
+  }
+  if (stored.participant == participant) {
+    // Idempotent re-grant. The stored nonce only moves FORWARD (attempt
+    // nonces are monotonic per publisher): a DELAYED claim from an old
+    // attempt must not roll the instance back, or the old attempt's equally
+    // delayed release could match again and unpin the epoch the newest
+    // attempt is writing at.
+    grant(stored.committed, std::max(stored.nonce, nonce));
+    return;
+  }
+  counters_.claims_refused += 1;
+  Writer wb;
+  wb.PutVarint32(stored.participant);
+  wb.PutVarint32(stored.node);
+  wb.PutVarint64(stored.nonce);
+  Respond(from, req_id,
+          Status::EpochTaken("epoch " + std::to_string(epoch) +
+                             " claimed by participant " +
+                             std::to_string(stored.participant)),
+          wb.Release());
 }
 
 void StorageService::HandleScanPage(net::NodeId from, Reader* r, uint64_t req_id) {
@@ -863,6 +1078,12 @@ void StorageService::RebalanceTo(const overlay::RoutingSnapshot& snap) {
         targets = snap.ReplicasOf(CoordinatorHash(std::string(rel), e), replication_);
         break;
       }
+      case 'E': {
+        Epoch e;
+        if (!keys::ParseClaim(key, &e)) continue;
+        targets = snap.ReplicasOf(ClaimHash(e), replication_);
+        break;
+      }
       case 'M': {
         for (const auto& m : snap.members()) targets.push_back(m.node);
         break;
@@ -875,7 +1096,13 @@ void StorageService::RebalanceTo(const overlay::RoutingSnapshot& snap) {
 
   for (auto& [target, w] : batches) {
     Writer out;
-    out.PutVarint64(gc_watermark_);  // piggybacked GC watermark
+    // Piggybacked GC marks: the full participant table, so a restarted
+    // receiver rebuilds the min-across-participants watermark, not a scalar.
+    out.PutVarint64(participant_marks_.size());
+    for (const auto& [p, pm] : participant_marks_) {
+      out.PutVarint32(p);
+      out.PutVarint64(pm.mark);
+    }
     out.PutVarint64(batch_counts[target]);
     out.PutRaw(w.data().data(), w.size());
     Call(target, kReplicaPush, out.Release(), [](Status, const std::string&) {});
@@ -891,11 +1118,45 @@ void StorageService::SetGcWatermark(Epoch w) {
   RetireBelowWatermark();
 }
 
+Epoch StorageService::EffectiveParticipantWatermark() const {
+  sim::SimTime now = host_->network()->simulator()->now();
+  Epoch min_mark = 0;
+  bool any = false;
+  for (const auto& [p, pm] : participant_marks_) {
+    if (now - pm.at > kParticipantMarkTtlUs) continue;  // departed
+    if (!any || pm.mark < min_mark) min_mark = pm.mark;
+    any = true;
+  }
+  return any ? min_mark : 0;
+}
+
+void StorageService::MergeParticipantMark(ParticipantId p, Epoch mark) {
+  sim::SimTime now = host_->network()->simulator()->now();
+  ParticipantMark& pm = participant_marks_[p];
+  pm.mark = std::max(pm.mark, mark);  // monotonic per participant
+  pm.at = now;
+  // Expire departed participants eagerly so they stop pinning the min (and
+  // so replica pushes don't keep resurrecting their entries elsewhere).
+  for (auto it = participant_marks_.begin(); it != participant_marks_.end();) {
+    if (now - it->second.at > kParticipantMarkTtlUs) {
+      it = participant_marks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StorageService::SetParticipantWatermark(ParticipantId p, Epoch mark) {
+  MergeParticipantMark(p, mark);
+  Epoch effective = EffectiveParticipantWatermark();
+  if (effective > 0) SetGcWatermark(effective);
+}
+
 void StorageService::RetireBelowWatermark() {
   const Epoch w = gc_watermark_;
   std::vector<std::string> doomed;
   uint64_t scanned = 0;
-  uint64_t n_coords = 0, n_pages = 0, n_data = 0, n_tombs = 0;
+  uint64_t n_coords = 0, n_pages = 0, n_data = 0, n_tombs = 0, n_claims = 0;
 
   // Coordinator records: retrieval is supported at epochs [w, current], so
   // any coordinator record below the watermark is unreachable.
@@ -906,6 +1167,18 @@ void StorageService::RetireBelowWatermark() {
     if (ck.epoch < w) {
       doomed.emplace_back(it.key());
       ++n_coords;
+    }
+  }
+
+  // Epoch claims below the watermark: their epoch committed (or was
+  // abandoned and superseded) long ago; no publisher can contend for it.
+  for (auto it = store_.SeekPrefix("E"); it.Valid(); it.Next()) {
+    ++scanned;
+    Epoch e;
+    if (!keys::ParseClaim(it.key(), &e)) continue;
+    if (e < w) {
+      doomed.emplace_back(it.key());
+      ++n_claims;
     }
   }
 
@@ -987,21 +1260,29 @@ void StorageService::RetireBelowWatermark() {
   gc_.retired_pages += n_pages;
   gc_.retired_data += n_data;
   gc_.retired_tombstones += n_tombs;
+  gc_.retired_claims += n_claims;
 }
 
 void StorageService::OnRestart() {
   // The store is durable across a crash; the epoch high-mark is not. Rebuild
-  // it from the surviving coordinator records so epoch discovery stays
-  // truthful. The watermark resets to 0 and is re-learned from the next
-  // advertisement — GC merely lags on a freshly restarted node.
+  // it from the surviving CONFIRMED epoch claims (coordinator records alone
+  // may belong to torn publishes) so epoch discovery stays truthful. The
+  // watermark resets to 0 and is re-learned from the next advertisement —
+  // GC merely lags on a freshly restarted node.
   max_epoch_seen_ = 0;
-  for (auto it = store_.SeekPrefix("C"); it.Valid(); it.Next()) {
-    keys::ParsedCoordKey ck;
-    if (keys::ParseCoord(it.key(), &ck)) {
-      max_epoch_seen_ = std::max(max_epoch_seen_, ck.epoch);
+  for (auto it = store_.SeekPrefix("E"); it.Valid(); it.Next()) {
+    Epoch e;
+    if (!keys::ParseClaim(it.key(), &e)) continue;
+    Reader vr(it.value());
+    EpochClaimRecord rec;
+    if (EpochClaimRecord::DecodeFrom(&vr, &rec).ok() && rec.committed) {
+      max_epoch_seen_ = std::max(max_epoch_seen_, e);
     }
   }
   gc_watermark_ = 0;
+  // Per-participant marks are transient too; re-learned from advertisements
+  // and the replica-push piggyback table.
+  participant_marks_.clear();
 }
 
 }  // namespace orchestra::storage

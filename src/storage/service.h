@@ -59,7 +59,24 @@ enum StorageCode : uint16_t {
                       // leads with the pusher's GC watermark so a restarted
                       // node catches up without waiting for the next publish
   kGetMaxEpoch = 13,  // highest coordinator epoch this node stores
-  kSetWatermark = 14, // one-way: GC low-watermark advertisement
+  kSetWatermark = 14, // one-way: (participant, GC low-watermark) advertisement
+  // Multi-writer epoch claims: the pre-write serialization point. A claim
+  // names (epoch, participant, node, attempt nonce); replicas grant
+  // first-come (idempotent for the same participant) and answer a
+  // conflicting claim with a kEpochTaken status whose body carries the
+  // stored winner instance. Claims are NEVER taken over (takeover rules
+  // break under membership churn): a wedged epoch is unwedged by its own
+  // participant's retry or instance-exact release only.
+  kClaimEpoch = 15,
+  kGetEpochClaim = 16,   // read back (participant, node, committed) of a claim
+  kReleaseEpoch = 17,    // one-way: delete own claim (failed publish cleanup)
+  // Commit confirmation: after ALL coordinator records of an epoch are
+  // written, the publisher flips its claim's `committed` flag on the claim
+  // replicas. kGetMaxEpoch reports only CONFIRMED epochs, so a publisher's
+  // discovered base is always a fully committed epoch — partial coordinator
+  // records of torn publishes can no longer inflate discovery and leak
+  // uncommitted content into other writers' bases.
+  kConfirmEpoch = 18,
   kReply = 100,       // RPC reply envelope
 };
 
@@ -69,6 +86,11 @@ constexpr sim::SimTime kEpochDiscoveryTimeoutUs = 5 * sim::kMicrosPerSec;
 
 /// Whole-scan deadline for Retrieve: bounds loss of the one-way data legs.
 constexpr sim::SimTime kScanDeadlineUs = 120 * sim::kMicrosPerSec;
+
+/// A participant's GC watermark advertisement stays live this long; after
+/// that the participant is considered departed and stops holding the
+/// effective (min-across-participants) watermark down.
+constexpr sim::SimTime kParticipantMarkTtlUs = 300 * sim::kMicrosPerSec;
 
 /// Sargable filter pushed to index nodes: an inclusive key-bytes range.
 struct KeyFilter {
@@ -183,17 +205,38 @@ class StorageService : public net::Service {
 
   // --- Multi-epoch GC -------------------------------------------------------
   /// Raises the GC low-watermark and retires superseded versions below it:
-  /// coordinator records with epoch < w, page versions older than their
-  /// partition's newest version at-or-below w, and tuple versions older than
-  /// their key's newest version at-or-below w (plus delete tombstones once
-  /// nothing older survives). Supported retrieval epochs become [w, current].
-  /// Re-advertising the current watermark re-runs retirement, which clears
-  /// records a stale replica push may have resurrected.
+  /// coordinator records (and epoch claims) with epoch < w, page versions
+  /// older than their partition's newest version at-or-below w, and tuple
+  /// versions older than their key's newest version at-or-below w (plus
+  /// delete tombstones once nothing older survives). Supported retrieval
+  /// epochs become [w, current]. Re-advertising the current watermark re-runs
+  /// retirement, which clears records a stale replica push may have
+  /// resurrected. This is the direct floor-raise entry point (tests use it);
+  /// publisher advertisements instead go through SetParticipantWatermark so
+  /// one slow writer holds retirement back for everyone.
   void SetGcWatermark(Epoch w);
   Epoch gc_watermark() const { return gc_watermark_; }
 
-  /// Highest epoch of any coordinator record this node has stored; the
-  /// publishers' epoch-discovery RPC (kGetMaxEpoch) reports it.
+  /// Multi-writer GC: records participant `p`'s advertised low-watermark
+  /// (monotonic per participant) and applies the EFFECTIVE watermark — the
+  /// minimum across all participants heard from within kParticipantMarkTtlUs
+  /// — via SetGcWatermark. A participant that lags (or advertises 0 because
+  /// its committed epoch is still inside the keep window) pins the effective
+  /// mark down, so versions a slow peer still bases its publishes on are
+  /// never retired out from under it.
+  void SetParticipantWatermark(ParticipantId p, Epoch mark);
+  /// min across active participants (0 when none have advertised).
+  Epoch EffectiveParticipantWatermark() const;
+  /// Advertised marks currently tracked (restart wipes them; replica pushes
+  /// re-teach them).
+  size_t participant_mark_count() const { return participant_marks_.size(); }
+
+  /// Highest CONFIRMED epoch this node knows of — a claim whose publisher
+  /// completed the commit (kConfirmEpoch), learned directly or via replica
+  /// push. The publishers' epoch-discovery RPC (kGetMaxEpoch) reports it;
+  /// coordinator records alone deliberately do NOT advance it (a torn
+  /// publish leaves partial records, and basing on them would absorb
+  /// uncommitted updates).
   Epoch max_epoch_seen() const { return max_epoch_seen_; }
 
   /// Crash-restart hook: rebuilds transient epoch bookkeeping from the
@@ -206,6 +249,7 @@ class StorageService : public net::Service {
     uint64_t retired_pages = 0;       // superseded page versions
     uint64_t retired_coords = 0;      // coordinator records below watermark
     uint64_t retired_tombstones = 0;  // delete markers fully reclaimed
+    uint64_t retired_claims = 0;      // epoch claims below watermark
   };
   const GcStats& gc_stats() const { return gc_; }
 
@@ -232,6 +276,13 @@ class StorageService : public net::Service {
     // Coalesced publish frames received: one per (publish, destination node)
     // pair — the RPC-count story of the pipelined publish path.
     uint64_t puttuples_frames = 0;
+    // Multi-writer contention observed at this node: claim requests refused
+    // with kEpochTaken, and same-epoch coordinator writes refused at the
+    // commit gate (the backstop; nonzero only under claim-replica-set
+    // wipeout by simultaneous membership churn).
+    uint64_t claims_granted = 0;
+    uint64_t claims_refused = 0;
+    uint64_t coordinator_conflicts = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -256,6 +307,11 @@ class StorageService : public net::Service {
 
   void Respond(net::NodeId to, uint64_t req_id, Status st, std::string body);
   void RetireBelowWatermark();
+  /// Records a participant's advertised mark (monotonic, TTL-pruned)
+  /// WITHOUT applying the effective watermark — bulk callers (replica push)
+  /// merge everything first and sweep once.
+  void MergeParticipantMark(ParticipantId p, Epoch mark);
+  void HandleClaimEpoch(net::NodeId from, Reader* r, uint64_t req_id);
   void HandleRequest(net::NodeId from, uint16_t code, Reader* r, uint64_t req_id);
   void HandleScanPage(net::NodeId from, Reader* r, uint64_t req_id);
   void HandleFetchTuples(net::NodeId from, Reader* r);
@@ -288,6 +344,13 @@ class StorageService : public net::Service {
   };
   std::unordered_map<net::NodeId, PeerLoad> peer_load_;
   uint32_t injected_load_hint_ = 0;
+  // Multi-writer GC: latest watermark advertised per participant, with the
+  // sim time it was heard (entries expire after kParticipantMarkTtlUs).
+  struct ParticipantMark {
+    Epoch mark = 0;
+    sim::SimTime at = 0;
+  };
+  std::map<ParticipantId, ParticipantMark> participant_marks_;
 };
 
 }  // namespace orchestra::storage

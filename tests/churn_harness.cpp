@@ -61,14 +61,26 @@ struct Driver {
   ChurnReport report;
 
   // Reference model: per relation, the current state plus every retained
-  // committed snapshot (pruned below the GC watermark).
+  // committed snapshot (pruned below the GC watermark). With concurrent
+  // publishers, committed batches are applied in COMMIT-EPOCH order; if a
+  // force-aborted ticket may have committed invisibly (its publish outlived
+  // the abort), the history snapshots are invalidated until fresh commits
+  // rebuild them — the current-state model stays exact because a retried
+  // batch rewrites the same keys.
   ModelState current[kNumRelations];
   std::map<Epoch, ModelState> history[kNumRelations];
   Epoch committed_epoch = 0;
   Epoch watermark = 0;
+  std::set<Epoch> committed_epochs_seen;  // torn-epoch detector
 
   std::set<net::NodeId> dead;
   std::set<net::NodeId> hung;
+  std::set<std::pair<net::NodeId, net::NodeId>> partitions;  // directed links
+  // A force-aborted ticket's publish may still commit LATER (e.g. when its
+  // hung node drains); snapshots taken between the abort and that landing
+  // can miss its updates. Tainted history is dropped at the next convergence
+  // point, after the cluster has fully drained.
+  bool history_tainted = false;
   bool failed = false;
 
   // --- plumbing -------------------------------------------------------------
@@ -136,11 +148,18 @@ struct Driver {
 
   // --- workload -------------------------------------------------------------
 
-  UpdateBatch MakeBatch(size_t rel_idx) {
+  /// Number of disjoint participants driving the workload.
+  size_t Publishers() const { return std::max<size_t>(1, opts.publishers); }
+
+  /// Participant `p` updates only its own key stripe, so concurrent update
+  /// logs are disjoint (the paper's participant model).
+  UpdateBatch MakeBatch(size_t publisher, size_t rel_idx) {
     UpdateBatch batch;
+    const int64_t stripe =
+        static_cast<int64_t>(publisher) * static_cast<int64_t>(opts.keys);
     auto& updates = batch[kRelations[rel_idx]];
     for (size_t i = 0; i < opts.updates_per_round; ++i) {
-      auto k = static_cast<int64_t>(workload_rng.Uniform(opts.keys));
+      auto k = stripe + static_cast<int64_t>(workload_rng.Uniform(opts.keys));
       if (workload_rng.NextDouble() < opts.delete_prob) {
         updates.push_back(Update::Delete(Row(k, std::string())));
       } else {
@@ -148,6 +167,18 @@ struct Driver {
       }
     }
     return batch;
+  }
+
+  /// A force-aborted ticket's publish may still have committed invisibly;
+  /// every retained history snapshot below such a commit could be missing
+  /// its updates. Drop them — commits from here on rebuild history.
+  void InvalidateHistory() {
+    bool had = false;
+    for (size_t r = 0; r < kNumRelations; ++r) {
+      had = had || !history[r].empty();
+      history[r].clear();
+    }
+    if (had) report.history_invalidations += 1;
   }
 
   void ApplyToModel(size_t rel_idx, const UpdateBatch& batch, Epoch epoch) {
@@ -158,6 +189,14 @@ struct Driver {
       } else {
         current[rel_idx][k] = u.tuple[1].AsString();
       }
+    }
+    if (epoch < committed_epoch) {
+      // A ticket from an earlier attempt resolved late, below epochs already
+      // applied. The current-state merge above is exact (stripes are
+      // disjoint) but the retained snapshots between `epoch` and
+      // `committed_epoch` were taken without it.
+      InvalidateHistory();
+      return;
     }
     for (size_t r = 0; r < kNumRelations; ++r) history[r][epoch] = current[r];
     committed_epoch = epoch;
@@ -170,81 +209,167 @@ struct Driver {
     }
   }
 
-  /// Publishes the round's `publish_window` batches through one node's
-  /// client::Session, retrying the uncommitted suffix (idempotently, in
-  /// order, with the same batches) across faults and kills. Escalates to a
-  /// convergence repair before the final attempts. With a window > 1 the
-  /// batches pipeline inside the session; the harness consumes the committed
-  /// prefix after each attempt and asserts commits stayed in order.
+  /// Publishes the round's batches — `publish_window` per participant, all
+  /// participants submitting CONCURRENTLY through their own pinned sessions
+  /// — retrying each participant's uncommitted suffix (idempotently, in
+  /// order, with the same batches, through the SAME participant: the
+  /// discipline multi-writer epoch claims rely on) across faults and kills.
+  /// Escalates to a convergence repair before the final attempts. Commits
+  /// are consumed per participant (suffix-order asserted per session),
+  /// checked for torn epochs across participants, and applied to the model
+  /// in commit-epoch order.
+  ///
+  /// Ownership rules under faults: a participant whose node is HUNG or DEAD
+  /// skips attempts until it unhangs/restarts (repair guarantees both by the
+  /// last attempts). Batches are never re-pinned to another participant: a
+  /// failed publish that already issued writes keeps its epoch claim, and
+  /// only the SAME participant's retry can recommit that epoch byte-
+  /// identically — re-pinning would wedge on the pinned claim (and, with a
+  /// takeover, could leave the dead twin's partial writes as orphans).
   bool PublishRound() {
     const size_t window = std::max<size_t>(1, opts.publish_window);
-    std::vector<std::pair<size_t, UpdateBatch>> work;
-    work.reserve(window);
-    for (size_t i = 0; i < window; ++i) {
-      size_t rel = workload_rng.Uniform(kNumRelations);
-      work.emplace_back(rel, MakeBatch(rel));
+    const size_t pubs = Publishers();
+
+    struct Owned {
+      size_t rel = 0;
+      UpdateBatch batch;
+    };
+    struct Writer {
+      net::NodeId node = net::kInvalidNode;  // pinned session node
+      std::vector<Owned> work;
+      size_t committed = 0;  // committed prefix of `work`
+    };
+    std::vector<Writer> writers(pubs);
+    for (size_t p = 0; p < pubs; ++p) {
+      writers[p].node =
+          pubs == 1 ? RandomLive(rng) : static_cast<net::NodeId>(p);
+      writers[p].work.reserve(window);
+      for (size_t i = 0; i < window; ++i) {
+        size_t rel = workload_rng.Uniform(kNumRelations);
+        writers[p].work.push_back(Owned{rel, MakeBatch(p, rel)});
+      }
     }
-    size_t committed = 0;  // batches applied to the model so far
+
+    const size_t total = window * pubs;
+    size_t total_committed = 0;
     const sim::SimTime budget =
         deploy::Deployment::kDefaultWaitUs +
-        60 * sim::kMicrosPerSec * static_cast<sim::SimTime>(window);
+        60 * sim::kMicrosPerSec * static_cast<sim::SimTime>(total);
     for (size_t attempt = 0; attempt < opts.publish_attempts; ++attempt) {
       if (attempt == opts.publish_attempts - 2) {
         // Last-but-one attempt: repair the cluster first. If the batches
         // still cannot publish on a healthy quiescent cluster, that is a bug.
         Repair();
       }
-      net::NodeId via = RandomLive(rng);
-      client::Session& sess = dep->session(via);
-      std::vector<client::Ticket> tickets;
-      tickets.reserve(work.size() - committed);
-      for (size_t i = committed; i < work.size(); ++i) {
-        tickets.push_back(sess.Submit(work[i].second));  // copy: retries reuse
+      struct Submitted {
+        size_t publisher = 0;
+        std::vector<client::Ticket> tickets;
+      };
+      std::vector<Submitted> subs;
+      for (size_t p = 0; p < pubs; ++p) {
+        Writer& wr = writers[p];
+        if (wr.committed == wr.work.size()) continue;
+        if (!dep->IsAlive(wr.node) || dep->network().IsHung(wr.node)) {
+          continue;  // wait for restart/unhang/repair — never re-pin
+        }
+        Submitted s;
+        s.publisher = p;
+        s.tickets.reserve(wr.work.size() - wr.committed);
+        client::Session& sess = dep->session(wr.node);
+        for (size_t i = wr.committed; i < wr.work.size(); ++i) {
+          s.tickets.push_back(sess.Submit(wr.work[i].batch));  // copy: retried
+        }
+        subs.push_back(std::move(s));
       }
       bool all_resolved = dep->RunUntil(
-          [&tickets] {
-            for (const client::Ticket& t : tickets) {
-              if (!t.epoch.done()) return false;
+          [&subs] {
+            for (const Submitted& s : subs) {
+              for (const client::Ticket& t : s.tickets) {
+                if (!t.epoch.done()) return false;
+              }
             }
             return true;
           },
           budget);
       if (!all_resolved) {
-        // A ticket can only stay unresolved if something wedged (e.g. the
-        // session node hung mid-flight); cut it loose and retry elsewhere.
-        sess.AbortInFlight(Status::TimedOut("churn round budget expired"));
-      }
-      size_t done_now = 0;
-      for (const client::Ticket& t : tickets) {
-        if (!t.epoch.ok()) break;
-        size_t idx = committed + done_now;
-        ApplyToModel(work[idx].first, work[idx].second, t.epoch.value());
-        report.publishes_ok += 1;
-        if (done_now > 0) report.pipelined_commits += 1;
-        Trace("pub rel=%zu via=%u ep=%llu win=%zu", work[idx].first, via,
-              static_cast<unsigned long long>(t.epoch.value()), window);
-        ++done_now;
-      }
-      // Pipeline ordering invariant: nothing behind a failed ticket may have
-      // committed (the session fails the whole suffix).
-      for (size_t j = done_now; j < tickets.size(); ++j) {
-        if (tickets[j].epoch.ok()) {
-          return Fail("session committed ticket " + std::to_string(j) +
-                      " after an earlier ticket failed");
+        // A ticket can only stay unresolved if something wedged (e.g. a
+        // session node hung mid-flight); cut those sessions loose. The
+        // aborted publishes may still commit invisibly once the node drains,
+        // so history snapshots taken from here on are not trustworthy until
+        // the next convergence point has drained everything.
+        for (const Submitted& s : subs) {
+          bool stuck = false;
+          for (const client::Ticket& t : s.tickets) stuck = stuck || !t.epoch.done();
+          if (stuck) {
+            dep->session(writers[s.publisher].node)
+                .AbortInFlight(Status::TimedOut("churn round budget expired"));
+          }
         }
+        history_tainted = true;
       }
-      committed += done_now;
-      if (committed == work.size()) {
+      // Consume each participant's committed prefix; collect commits for
+      // epoch-ordered model application and the torn-epoch check.
+      struct Commit {
+        Epoch epoch = 0;
+        size_t publisher = 0;
+        size_t idx = 0;
+      };
+      std::vector<Commit> commits;
+      for (const Submitted& s : subs) {
+        Writer& wr = writers[s.publisher];
+        size_t done_now = 0;
+        for (const client::Ticket& t : s.tickets) {
+          if (!t.epoch.ok()) break;
+          commits.push_back(
+              Commit{t.epoch.value(), s.publisher, wr.committed + done_now});
+          ++done_now;
+        }
+        // Pipeline ordering invariant: nothing behind a failed ticket may
+        // have committed (the session fails the whole suffix).
+        for (size_t j = done_now; j < s.tickets.size(); ++j) {
+          if (s.tickets[j].epoch.ok()) {
+            return Fail("session committed ticket " + std::to_string(j) +
+                        " after an earlier ticket failed");
+          }
+        }
+        if (done_now < s.tickets.size()) {
+          Trace("pubfail p=%zu idx=%zu err=%s", s.publisher,
+                wr.committed + done_now,
+                s.tickets[done_now].epoch.status().ToString().c_str());
+        }
+        if (done_now > 0) {
+          report.pipelined_commits += done_now - 1;
+          if (subs.size() > 1) report.concurrent_commits += done_now;
+        }
+        wr.committed += done_now;
+        total_committed += done_now;
+      }
+      // Torn-epoch detector: one epoch, one committed writer — ever.
+      std::sort(commits.begin(), commits.end(),
+                [](const Commit& a, const Commit& b) { return a.epoch < b.epoch; });
+      for (const Commit& c : commits) {
+        if (!committed_epochs_seen.insert(c.epoch).second) {
+          return Fail("torn epoch " + std::to_string(c.epoch) +
+                      ": two committed publishes report the same epoch");
+        }
+        Writer& wr = writers[c.publisher];
+        ApplyToModel(wr.work[c.idx].rel, wr.work[c.idx].batch, c.epoch);
+        report.publishes_ok += 1;
+        Trace("pub p=%zu rel=%zu via=%u ep=%llu win=%zu", c.publisher,
+              wr.work[c.idx].rel, wr.node,
+              static_cast<unsigned long long>(c.epoch), window);
+      }
+      if (total_committed == total) {
         if (attempt > 0) report.publish_retries += attempt;
         return true;
       }
       // Let in-flight fault fallout (timeouts, drop notices) clear a little
-      // before retrying; publishes are idempotent per batch.
+      // before retrying; publishes are idempotent per batch + participant.
       dep->RunFor(2 * sim::kMicrosPerSec);
     }
     return Fail("publish failed after " + std::to_string(opts.publish_attempts) +
-                " attempts: " + std::to_string(work.size() - committed) +
-                " of " + std::to_string(work.size()) + " batches uncommitted");
+                " attempts: " + std::to_string(total - total_committed) +
+                " of " + std::to_string(total) + " batches uncommitted");
   }
 
   // --- faults ---------------------------------------------------------------
@@ -304,10 +429,44 @@ struct Driver {
     }
   }
 
-  /// Full repair: faults off, everyone unhung + restarted, re-replicated,
-  /// quiescent.
+  void MaybeSchedulePartition() {
+    if (opts.partition_prob <= 0 ||
+        fault_rng.NextDouble() >= opts.partition_prob) {
+      return;
+    }
+    if (partitions.size() >= opts.max_partitions) return;
+    net::NodeId from = RandomLive(fault_rng);
+    net::NodeId to = RandomLive(fault_rng);
+    if (from == to || partitions.count({from, to}) > 0) return;
+    partitions.insert({from, to});
+    dep->network().SetDropOverride(from, to, opts.partition_drop_prob);
+    report.partitions += 1;
+    Trace("partition %u->%u p=%.2f", from, to, opts.partition_drop_prob);
+  }
+
+  void MaybeHealPartitions() {
+    for (auto it = partitions.begin(); it != partitions.end();) {
+      if (fault_rng.NextDouble() < opts.partition_heal_prob) {
+        dep->network().ClearDropOverride(it->first, it->second);
+        report.partition_heals += 1;
+        Trace("heal %u->%u", it->first, it->second);
+        it = partitions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Full repair: faults off, partitions healed, everyone unhung +
+  /// restarted, re-replicated, quiescent.
   void Repair() {
     SetChurnFaults(false);
+    for (const auto& [from, to] : partitions) {
+      dep->network().ClearDropOverride(from, to);
+      report.partition_heals += 1;
+      Trace("heal %u->%u (repair)", from, to);
+    }
+    partitions.clear();
     for (auto it = hung.begin(); it != hung.end();) {
       net::NodeId n = *it;
       it = hung.erase(it);
@@ -360,16 +519,37 @@ struct Driver {
       if (filter.Matches(kb)) want.emplace(k, v);
     }
     if (got != want) {
+      std::string detail;
+      for (const auto& [k, v] : got) {
+        auto it = want.find(k);
+        if (it == want.end()) detail += " extra:" + std::to_string(k);
+        else if (it->second != v) detail += " diff:" + std::to_string(k);
+      }
+      for (const auto& [k, v] : want) {
+        if (!got.count(k)) detail += " missing:" + std::to_string(k);
+      }
       return Fail(std::string(what) + " mismatch on " + kRelations[rel_idx] +
                   " at e=" + std::to_string(epoch) + ": got " +
                   std::to_string(got.size()) + " rows, want " +
-                  std::to_string(want.size()));
+                  std::to_string(want.size()) + " [" + detail + " ]");
     }
     return true;
   }
 
   bool ConvergeAndCheck() {
     Repair();
+    if (history_tainted) {
+      // Give any publish whose ticket was force-aborted — but whose state
+      // machine survived (e.g. parked in a claim-stall loop on a formerly
+      // hung node) — time to land its commit, then drop the snapshots it may
+      // have invalidated. Snapshots from here on are trustworthy again; the
+      // current-state model is exact throughout (a retried batch rewrites
+      // the same keys, so the newest version per key matches the model).
+      dep->RunFor(40 * sim::kMicrosPerSec);
+      Settle();
+      InvalidateHistory();
+      history_tainted = false;
+    }
     // After a full repair — every node unhung/restarted and the network
     // quiescent — the pending RPC tables must have drained: calls to a hung
     // node resolve through their deadlines, calls to a dead one through
@@ -462,13 +642,21 @@ struct Driver {
       // Live records must not grow with the round count: versions retained
       // per key/page/coordinator are bounded by the watermark window, and
       // copies per record by the node count (old replicas keep theirs until
-      // the version is superseded).
-      uint64_t window = opts.gc_keep_epochs + 4;
-      uint64_t per_rel = opts.keys * window +                // tuple versions
+      // the version is superseded). With concurrent publishers the EFFECTIVE
+      // watermark is the min across participants, which can lag the newest
+      // mark by roughly a round of everyone else's commits — widen the
+      // window (and the key space, which is striped) accordingly.
+      const uint64_t pubs = Publishers();
+      const uint64_t win_batches = std::max<size_t>(1, opts.publish_window);
+      uint64_t window = opts.gc_keep_epochs + 4 +
+                        (pubs > 1 ? 2 * pubs * win_batches + 4 : 0);
+      uint64_t per_rel = opts.keys * pubs * window +         // tuple versions
                          opts.num_partitions * window +      // page versions
                          window +                            // coordinators
                          opts.num_partitions + opts.num_nodes + 1;  // I + M
-      uint64_t bound = opts.num_nodes * kNumRelations * per_rel + 512;
+      uint64_t bound = opts.num_nodes * kNumRelations * per_rel +
+                       opts.num_nodes * window +  // epoch claims ('E')
+                       512;
       report.live_record_bound = bound;
       if (live_total > bound) {
         return Fail("GC failed to bound storage: live=" +
@@ -486,22 +674,29 @@ struct Driver {
   // --- top level ------------------------------------------------------------
 
   bool Setup() {
+    if (Publishers() > opts.num_nodes) {
+      return Fail("publishers (" + std::to_string(Publishers()) +
+                  ") exceed num_nodes (" + std::to_string(opts.num_nodes) + ")");
+    }
     for (size_t r = 0; r < kNumRelations; ++r) {
       Status st = dep->CreateRelation(
           0, MakeDef(kRelations[r], opts.num_partitions));
       if (!st.ok()) return Fail("create relation: " + st.ToString());
     }
-    // Initial population so overwrites dominate from round one.
+    // Initial population of every participant's stripe so overwrites
+    // dominate from round one.
+    const size_t all_keys = opts.keys * Publishers();
     for (size_t r = 0; r < kNumRelations; ++r) {
       UpdateBatch batch;
       auto& ups = batch[kRelations[r]];
-      for (size_t k = 0; k < opts.keys; ++k) {
+      for (size_t k = 0; k < all_keys; ++k) {
         ups.push_back(Update::Insert(
             Row(static_cast<int64_t>(k), workload_rng.AlphaString(24))));
       }
       auto e = dep->Publish(0, batch);
       if (!e.ok()) return Fail("initial publish: " + e.status().ToString());
-      for (size_t i = 0; i < opts.keys; ++i) {
+      committed_epochs_seen.insert(*e);
+      for (size_t i = 0; i < all_keys; ++i) {
         current[r][static_cast<int64_t>(i)] = ups[i].tuple[1].AsString();
       }
       for (size_t rr = 0; rr < kNumRelations; ++rr) {
@@ -509,7 +704,8 @@ struct Driver {
       }
       committed_epoch = *e;
     }
-    Trace("setup ep=%llu", static_cast<unsigned long long>(committed_epoch));
+    Trace("setup ep=%llu pubs=%zu", static_cast<unsigned long long>(committed_epoch),
+          Publishers());
     return true;
   }
 
@@ -517,9 +713,11 @@ struct Driver {
     if (!Setup()) return;
     for (size_t round = 1; round <= opts.rounds && !failed; ++round) {
       MaybeRestartDead();
+      MaybeHealPartitions();
       SetChurnFaults(true);
       MaybeScheduleKill();
       MaybeScheduleHang();
+      MaybeSchedulePartition();
       if (!PublishRound()) break;
       // Flush any still-pending scheduled kill/hang, then re-replicate
       // around it so the next round's publish can reach every record.
@@ -538,6 +736,12 @@ struct Driver {
     }
     if (!failed) report.ok = true;
     report.final_epoch = committed_epoch;
+    for (size_t i = 0; i < dep->size(); ++i) {
+      const auto& ps = dep->publisher(i).pipeline_stats();
+      report.epoch_conflicts += ps.epoch_conflicts;
+      report.rebases += ps.rebases + ps.chain_rebases;
+      report.coordinator_conflicts += dep->storage(i).counters().coordinator_conflicts;
+    }
     report.faults_dropped = dep->network().fault_counters().dropped;
     report.faults_delayed = dep->network().fault_counters().delayed;
     report.trace_digest = dep->sim().trace_digest();

@@ -17,6 +17,17 @@
 // each store's dead-record fraction stays below the compaction threshold
 // plus slack) while retrieval stays correct at the current epoch and at
 // retained historical epochs.
+//
+// Multi-writer mode (publishers >= 2): each publisher is a DISJOINT
+// participant — its own client::Session pinned to its own node, updating its
+// own key stripe — and every round all publishers submit concurrently, so
+// epoch claims genuinely contend. Batches are owned by their participant for
+// retries (the same-batch-same-participant discipline multi-writer claims
+// rely on); committed batches are applied to the model in COMMIT-EPOCH order
+// across participants, and a round fails if two tickets ever report the same
+// committed epoch (a torn epoch). Asymmetric partitions
+// (Network::SetDropOverride: one direction of a node pair drops, the reverse
+// stays healthy) join the fault mix via partition_prob.
 #ifndef ORCHESTRA_TESTS_CHURN_HARNESS_H_
 #define ORCHESTRA_TESTS_CHURN_HARNESS_H_
 
@@ -27,6 +38,12 @@
 
 namespace orchestra::churn {
 
+/// All knobs of one churn run. Thread/ordering contract: RunChurn is a
+/// single-threaded, blocking call that owns its Deployment and simulator —
+/// drive one run per thread, never share a ChurnOptions-under-mutation.
+/// Within a run, committed batches are applied to the reference model in
+/// commit-EPOCH order (not submission order) across participants, which is
+/// the only order the versioned store's snapshots are comparable in.
 struct ChurnOptions {
   uint64_t seed = 1;
 
@@ -35,17 +52,25 @@ struct ChurnOptions {
   int replication = 3;
   uint32_t num_partitions = 8;
 
-  // Workload: each round publishes `publish_window` batches of
-  // upserts/deletes over a fixed key working set (overwrite-heavy — this is
-  // what grows dead versions) through one node's client::Session. With a
+  // Workload: each round every participant publishes `publish_window`
+  // batches of upserts/deletes over its key stripe (overwrite-heavy — this
+  // is what grows dead versions) through its client::Session. With a
   // window > 1 the batches pipeline: later publishes overlap earlier ones'
   // writes while commits stay strictly ordered, and the harness asserts that
   // ordering (a commit observed after a failed predecessor fails the run).
   size_t rounds = 100;
-  size_t keys = 48;              // working-set size per relation
+  size_t keys = 48;              // working-set size per relation AND stripe
   size_t updates_per_round = 8;  // updates per published batch
   double delete_prob = 0.15;     // P(update is a delete)
   size_t publish_window = 1;     // batches submitted (and in flight) per round
+
+  // Concurrent disjoint participants. 1 = the classic single-writer harness
+  // (one randomly chosen session per round). >= 2: participant i is pinned
+  // to node i's session and updates only its own key stripe
+  // [i*keys, (i+1)*keys); each round every participant submits its
+  // publish_window batches CONCURRENTLY, so same-epoch claims contend and
+  // losers re-base. Requires publishers <= num_nodes.
+  size_t publishers = 1;
 
   // Fault mix. Kills are scheduled to land mid-publish; restarts happen
   // between rounds. max_dead keeps the replica-safety bound of the system
@@ -63,6 +88,15 @@ struct ChurnOptions {
   // after each repair the harness asserts the pending RPC tables drained.
   double hang_prob = 0.0;
   double unhang_prob = 0.5;
+  // Asymmetric partitions: with partition_prob per round, one DIRECTED link
+  // (from -> to) between live nodes starts dropping at partition_drop_prob
+  // while the reverse direction stays healthy (Network::SetDropOverride).
+  // Each active partition heals with partition_heal_prob per round; repairs
+  // heal all of them. At most max_partitions are active at once.
+  double partition_prob = 0.0;
+  double partition_drop_prob = 0.9;
+  double partition_heal_prob = 0.5;
+  size_t max_partitions = 1;
 
   // Convergence cadence: every `check_every` rounds faults pause, dead nodes
   // restart, re-replication runs, and the model-equivalence + GC assertions
@@ -100,6 +134,19 @@ struct ChurnReport {
   uint64_t pipelined_commits = 0;  // commits while >1 publish was in flight
   uint64_t checks = 0;
   uint64_t final_epoch = 0;
+
+  // Multi-writer observations.
+  uint64_t partitions = 0;        // asymmetric partitions scheduled
+  uint64_t partition_heals = 0;   // healed between rounds (repairs heal all)
+  uint64_t epoch_conflicts = 0;   // claims/commits lost across all publishers
+  uint64_t rebases = 0;           // contention re-bases across all publishers
+  uint64_t coordinator_conflicts = 0;  // commit-gate refusals (backstop;
+                                       // expected to stay 0 outside
+                                       // claim-replica-set wipeouts)
+  uint64_t concurrent_commits = 0;  // commits while another PARTICIPANT also
+                                    // had a publish in flight
+  uint64_t history_invalidations = 0;  // model history dropped after a
+                                       // possibly-committed aborted ticket
 
   // GC / storage-bound observations (maxima over all convergence checks).
   double max_dead_fraction = 0;    // worst per-store dead fraction

@@ -89,6 +89,87 @@ TEST(Churn, PipelinedWindowFour) {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-writer: 2-3 concurrent disjoint-participant sessions per seed, with
+// crashes, hangs, and ASYMMETRIC partitions (Network::SetDropOverride) in the
+// fault mix. Every run must converge to model equivalence; across the sweep,
+// epoch contention must actually occur (claims lost, losers re-based) and
+// commits must interleave across participants — and no run may ever observe
+// a torn epoch (two writers committing one epoch) or a commit behind a
+// failed ticket.
+
+TEST(Churn, MultiWriterSweep) {
+  constexpr uint64_t kSeeds = 20;
+  uint64_t only_seed = 0;
+  if (const char* env = std::getenv("ORCHESTRA_CHURN_SEED")) {
+    only_seed = std::strtoull(env, nullptr, 10);
+  }
+  uint64_t total_conflicts = 0, total_rebases = 0, total_concurrent = 0,
+           total_partitions = 0, total_kills = 0, total_hangs = 0;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    if (only_seed != 0 && seed != only_seed) continue;
+    ChurnOptions opts;
+    opts.seed = seed;
+    opts.rounds = 18;
+    opts.check_every = 6;
+    opts.publishers = 2 + (seed % 2);  // alternate 2- and 3-writer runs
+    opts.publish_window = 2;
+    opts.keys = 24;                    // per-participant stripe
+    opts.hang_prob = 0.03;
+    opts.partition_prob = 0.15;        // asymmetric one-way partitions
+    ChurnReport rep = RunChurn(opts);
+    EXPECT_TRUE(rep.ok) << rep.failure << "\ntrace tail:\n"
+                        << rep.trace.substr(rep.trace.size() > 2000
+                                                ? rep.trace.size() - 2000
+                                                : 0)
+                        << "\nconflicts=" << rep.epoch_conflicts
+                        << " rebases=" << rep.rebases
+                        << " coord_conflicts=" << rep.coordinator_conflicts;
+    EXPECT_GE(rep.checks, 3u) << "seed " << seed;
+    EXPECT_GT(rep.publishes_ok, 0u) << "seed " << seed;
+    total_conflicts += rep.epoch_conflicts;
+    total_rebases += rep.rebases;
+    total_concurrent += rep.concurrent_commits;
+    total_partitions += rep.partitions;
+    total_kills += rep.kills;
+    total_hangs += rep.hangs;
+    if (HasFailure()) break;
+  }
+  if (only_seed == 0) {
+    // The sweep must genuinely exercise contention and the new fault class:
+    // claims lost and re-based, commits interleaving across participants,
+    // asymmetric partitions scheduled, crashes and hangs in the mix.
+    EXPECT_GT(total_conflicts, 0u);
+    EXPECT_GT(total_rebases, 0u);
+    EXPECT_GT(total_concurrent, 0u);
+    EXPECT_GT(total_partitions, 0u);
+    EXPECT_GT(total_kills, 0u);
+    EXPECT_GT(total_hangs, 0u);
+  }
+}
+
+// Multi-writer determinism: contention resolution (claims, force takeovers,
+// re-bases) must replay byte-identically for the same seed.
+TEST(Churn, MultiWriterSameSeedReplaysIdenticalTrace) {
+  ChurnOptions opts;
+  opts.seed = 171;
+  opts.rounds = 12;
+  opts.check_every = 6;
+  opts.publishers = 3;
+  opts.publish_window = 2;
+  opts.keys = 24;
+  opts.partition_prob = 0.1;
+  ChurnReport a = RunChurn(opts);
+  ChurnReport b = RunChurn(opts);
+  ASSERT_TRUE(a.ok) << a.failure;
+  ASSERT_TRUE(b.ok) << b.failure;
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.final_epoch, b.final_epoch);
+  EXPECT_EQ(a.epoch_conflicts, b.epoch_conflicts);
+  EXPECT_EQ(a.rebases, b.rebases);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+// ---------------------------------------------------------------------------
 // Determinism regression: same seed => byte-identical event trace and equal
 // simulator digests; different seeds diverge.
 

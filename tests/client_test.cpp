@@ -9,6 +9,7 @@
 //    publish lost, and recovers when load clears.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <string>
@@ -429,6 +430,183 @@ TEST_F(SessionTest, BackpressureShrinksWindowWithoutLosingPublishes) {
   for (const Ticket& t : more) ASSERT_TRUE(t.epoch.ok());
   EXPECT_GE(s.stats().window_grows, 1u);
   EXPECT_GT(s.window(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-writer: concurrent sessions from disjoint participants on one
+// deployment. Epoch contention must resolve deterministically — one writer
+// per epoch (claims + the participant-tagged commit gate), the loser
+// re-basing onto the winner's committed output — with no torn or shadowed
+// versions at any epoch.
+
+TEST_F(SessionTest, ConcurrentPublishersResolveContentionDeterministically) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+  Session& a = dep->session(0);  // participant 1
+  Session& b = dep->session(1);  // participant 2
+  ASSERT_NE(a.participant(), b.participant());
+
+  // Submit in the same sim instant: both discover the same base and race
+  // for the same epoch.
+  Ticket ta = a.Submit(OneRow("R", "a", "va"));
+  Ticket tb = b.Submit(OneRow("R", "b", "vb"));
+  ASSERT_TRUE(Drive([&] { return ta.epoch.done() && tb.epoch.done(); }));
+  ASSERT_TRUE(ta.epoch.ok()) << ta.epoch.status().ToString();
+  ASSERT_TRUE(tb.epoch.ok()) << tb.epoch.status().ToString();
+
+  // One writer per epoch, and the epochs are adjacent: the loser re-based
+  // onto the winner's commit instead of failing or tearing.
+  EXPECT_NE(ta.epoch.value(), tb.epoch.value());
+  Epoch lo = std::min(ta.epoch.value(), tb.epoch.value());
+  Epoch hi = std::max(ta.epoch.value(), tb.epoch.value());
+  EXPECT_EQ(hi, lo + 1);
+  uint64_t conflicts = dep->publisher(0).pipeline_stats().epoch_conflicts +
+                       dep->publisher(1).pipeline_stats().epoch_conflicts;
+  uint64_t rebases = dep->publisher(0).pipeline_stats().rebases +
+                     dep->publisher(1).pipeline_stats().rebases;
+  EXPECT_GE(conflicts, 1u);
+  EXPECT_GE(rebases, 1u);
+
+  // The final epoch merges both participants' (disjoint) updates; the
+  // earlier epoch carries exactly the winner's.
+  auto at_hi = dep->Retrieve(2, "R", hi);
+  ASSERT_TRUE(at_hi.ok());
+  EXPECT_EQ(AsMap(*at_hi),
+            (std::map<std::string, std::string>{{"a", "va"}, {"b", "vb"}}));
+  auto at_lo = dep->Retrieve(2, "R", lo);
+  ASSERT_TRUE(at_lo.ok());
+  bool a_won = ta.epoch.value() == lo;
+  EXPECT_EQ(AsMap(*at_lo),
+            a_won ? (std::map<std::string, std::string>{{"a", "va"}})
+                  : (std::map<std::string, std::string>{{"b", "vb"}}));
+}
+
+// Same race twice (fresh deployments) => identical winner and epochs.
+TEST(MultiWriter, ContentionReplaysIdentically) {
+  auto run = [] {
+    deploy::DeploymentOptions opts;
+    opts.num_nodes = 4;
+    opts.replication = 3;
+    deploy::Deployment dep(opts);
+    EXPECT_TRUE(dep.CreateRelation(0, SimpleRelation("R")).ok());
+    Ticket ta = dep.session(0).Submit(OneRow("R", "a", "va"));
+    Ticket tb = dep.session(1).Submit(OneRow("R", "b", "vb"));
+    EXPECT_TRUE(
+        dep.RunUntil([&] { return ta.epoch.done() && tb.epoch.done(); }));
+    EXPECT_TRUE(ta.epoch.ok());
+    EXPECT_TRUE(tb.epoch.ok());
+    return std::make_pair(ta.epoch.value(), tb.epoch.value());
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first, second);
+}
+
+// Sustained concurrent publishing: every committed epoch has exactly one
+// writer, and retrieval at EVERY epoch equals the model built by applying
+// the committed batches in epoch order — i.e. no epoch was ever torn by a
+// second writer and no version was shadowed by a contention loser.
+TEST_F(SessionTest, NoTornOrShadowedVersionsAcrossFullHistory) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+  constexpr int kRounds = 6;
+  constexpr size_t kWriters = 3;
+  // (epoch -> (key, value)) of every committed batch, across all writers.
+  std::map<Epoch, std::pair<std::string, std::string>> commits;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<Ticket> tickets;
+    std::vector<std::pair<std::string, std::string>> rows;
+    for (size_t w = 0; w < kWriters; ++w) {
+      // Disjoint per-writer key stripes, fresh value per round.
+      std::string k = "w" + std::to_string(w) + "k" + std::to_string(round % 2);
+      std::string v = "r" + std::to_string(round);
+      rows.emplace_back(k, v);
+      tickets.push_back(dep->session(w).Submit(OneRow("R", k, v)));
+    }
+    ASSERT_TRUE(Drive([&tickets] {
+      for (const Ticket& t : tickets) {
+        if (!t.epoch.done()) return false;
+      }
+      return true;
+    }));
+    for (size_t w = 0; w < kWriters; ++w) {
+      ASSERT_TRUE(tickets[w].epoch.ok())
+          << "round " << round << " writer " << w << ": "
+          << tickets[w].epoch.status().ToString();
+      // Torn-epoch detector: one committed writer per epoch, ever.
+      ASSERT_TRUE(commits.emplace(tickets[w].epoch.value(), rows[w]).second)
+          << "epoch " << tickets[w].epoch.value() << " committed twice";
+    }
+  }
+  // Replay the commit log in epoch order and check retrieval at EVERY epoch.
+  std::map<std::string, std::string> model;
+  for (const auto& [epoch, kv] : commits) {
+    model[kv.first] = kv.second;
+    auto rows = dep->Retrieve(3, "R", epoch);
+    ASSERT_TRUE(rows.ok()) << "epoch " << epoch;
+    EXPECT_EQ(AsMap(*rows), model) << "epoch " << epoch;
+  }
+  EXPECT_EQ(dep->storage(0).counters().coordinator_conflicts +
+                dep->storage(1).counters().coordinator_conflicts +
+                dep->storage(2).counters().coordinator_conflicts +
+                dep->storage(3).counters().coordinator_conflicts,
+            0u)
+      << "the commit-gate backstop fired: claims failed to serialize";
+}
+
+// GC under multi-writer: the effective watermark is the MIN across active
+// participants, so a slow writer pins retirement and its base versions are
+// never retired out from under it.
+TEST(MultiWriter, GcWatermarkIsMinAcrossParticipants) {
+  deploy::DeploymentOptions opts;
+  opts.num_nodes = 4;
+  opts.replication = 3;
+  opts.gc_keep_epochs = 2;
+  deploy::Deployment dep(opts);
+  ASSERT_TRUE(dep.CreateRelation(0, SimpleRelation("R")).ok());
+
+  // The slow writer commits once, early, and then goes quiet.
+  auto slow = dep.Publish(1, OneRow("R", "slow", "v0"));
+  ASSERT_TRUE(slow.ok());
+  const Epoch slow_base = *slow;
+
+  // The fast writer races ahead: its own mark advances, but the effective
+  // watermark stays pinned at the slow participant's (0, inside the keep
+  // window), so nothing the slow writer bases on is retired.
+  Epoch last = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto e = dep.Publish(0, OneRow("R", "fast", "v" + std::to_string(i)));
+    ASSERT_TRUE(e.ok());
+    last = *e;
+  }
+  dep.RunFor(1 * sim::kMicrosPerSec);  // advertisements land
+  ASSERT_GT(last, opts.gc_keep_epochs + slow_base);
+  for (size_t i = 0; i < dep.size(); ++i) {
+    EXPECT_EQ(dep.storage(i).gc_watermark(), 0u) << "node " << i;
+    EXPECT_EQ(dep.storage(i).EffectiveParticipantWatermark(), 0u);
+    EXPECT_EQ(dep.storage(i).participant_mark_count(), 2u);
+  }
+  // Every historical epoch — including the slow writer's base — is intact.
+  auto old_rows = dep.Retrieve(2, "R", slow_base);
+  ASSERT_TRUE(old_rows.ok());
+  EXPECT_EQ(old_rows->size(), 1u);
+
+  // The slow writer catches up: the min jumps and retirement finally runs.
+  // The effective mark is now min over BOTH participants' latest marks —
+  // the fast writer's trails by the epochs the slow one just claimed.
+  auto wake = dep.Publish(1, OneRow("R", "slow", "v1"));
+  ASSERT_TRUE(wake.ok());
+  dep.RunFor(1 * sim::kMicrosPerSec);
+  const Epoch expect_mark = std::min(*wake, last) - opts.gc_keep_epochs;
+  for (size_t i = 0; i < dep.size(); ++i) {
+    EXPECT_EQ(dep.storage(i).gc_watermark(), expect_mark) << "node " << i;
+  }
+  // Epochs below the new watermark are retired...
+  auto below = dep.Retrieve(2, "R", slow_base);
+  EXPECT_FALSE(below.ok());
+  // ...and the live window still reads exactly.
+  auto now = dep.Retrieve(2, "R", *wake);
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(AsMap(*now), (std::map<std::string, std::string>{
+                             {"slow", "v1"}, {"fast", "v7"}}));
 }
 
 }  // namespace

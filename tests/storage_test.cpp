@@ -142,6 +142,7 @@ TEST(CoordinatorRecordTest, EncodeDecodeRoundTrip) {
   CoordinatorRecord rec;
   rec.relation = "R";
   rec.epoch = 5;
+  rec.participant = 17;  // multi-writer: records carry their epoch's writer
   rec.pages.push_back(PageDescriptor{PageId{"R", 4, 0}, 8});
   rec.pages.push_back(PageDescriptor{PageId{"R", 5, 3}, 8});
   Writer w;
@@ -151,6 +152,7 @@ TEST(CoordinatorRecordTest, EncodeDecodeRoundTrip) {
   ASSERT_TRUE(CoordinatorRecord::DecodeFrom(&r, &back).ok());
   EXPECT_EQ(back.relation, "R");
   EXPECT_EQ(back.epoch, 5u);
+  EXPECT_EQ(back.participant, 17u);
   ASSERT_EQ(back.pages.size(), 2u);
   EXPECT_EQ(back.pages[1], rec.pages[1]);
 }
@@ -761,6 +763,189 @@ TEST_F(StorageClusterTest, StalePublisherDiscoversCurrentEpoch) {
   auto at1 = dep->Retrieve(1, "R", 1);
   ASSERT_TRUE(at1.ok());
   EXPECT_EQ(AsBag(*at1), (std::multiset<std::string>{"('a', '1')"}));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-writer epoch claims: the kClaimEpoch / kReleaseEpoch / kConfirmEpoch
+// replica protocol that serializes concurrent publishers onto distinct
+// epochs.
+
+std::string ClaimBody(Epoch e, uint32_t participant, uint32_t node,
+                      uint64_t nonce) {
+  Writer w;
+  w.PutVarint64(e);
+  w.PutVarint32(participant);
+  w.PutVarint32(node);
+  w.PutVarint64(nonce);
+  return w.Release();
+}
+
+TEST_F(StorageClusterTest, EpochClaimProtocol) {
+  auto call = [&](uint16_t code, std::string body) {
+    Status out = Status::Unavailable("no reply");
+    std::string reply;
+    bool done = false;
+    dep->storage(0).Call(1, code, std::move(body),
+                         [&](Status s, const std::string& b) {
+                           out = s;
+                           reply = b;
+                           done = true;
+                         });
+    dep->RunUntil([&done] { return done; });
+    return std::make_pair(out, reply);
+  };
+
+  // First come wins; re-claiming is idempotent for the same participant
+  // (a retry's fresh attempt nonce refreshes the stored instance).
+  EXPECT_TRUE(call(kClaimEpoch, ClaimBody(100, 7, 0, 1)).first.ok());
+  EXPECT_TRUE(call(kClaimEpoch, ClaimBody(100, 7, 0, 2)).first.ok());
+
+  // A different participant is refused; the reply names the stored winner
+  // instance (participant, node, nonce).
+  auto [taken, body] = call(kClaimEpoch, ClaimBody(100, 9, 2, 3));
+  EXPECT_TRUE(taken.IsEpochTaken()) << taken.ToString();
+  Reader r(body);
+  uint32_t wp = 0, wn = 0;
+  uint64_t wx = 0;
+  ASSERT_TRUE(r.GetVarint32(&wp).ok() && r.GetVarint32(&wn).ok() &&
+              r.GetVarint64(&wx).ok());
+  EXPECT_EQ(wp, 7u);
+  EXPECT_EQ(wx, 2u);  // the refreshed instance, not the first attempt's
+
+  // A stale release (first attempt's nonce) must NOT unpin the newer
+  // instance — that is exactly the delayed-release hazard.
+  {
+    Writer w;
+    w.PutVarint64(100);
+    w.PutVarint32(7);
+    w.PutVarint64(1);
+    dep->storage(0).SendOneWay(1, kReleaseEpoch, w.Release());
+  }
+  dep->RunFor(sim::kMicrosPerSec / 10);
+  EXPECT_TRUE(call(kClaimEpoch, ClaimBody(100, 9, 2, 4)).first.IsEpochTaken());
+
+  // An instance-exact release frees the slot for the next claimant.
+  {
+    Writer w;
+    w.PutVarint64(100);
+    w.PutVarint32(7);
+    w.PutVarint64(2);
+    dep->storage(0).SendOneWay(1, kReleaseEpoch, w.Release());
+  }
+  dep->RunFor(sim::kMicrosPerSec / 10);
+  EXPECT_TRUE(call(kClaimEpoch, ClaimBody(100, 9, 2, 5)).first.ok());
+
+  // Confirming marks the epoch committed and advances the node's discovery
+  // frontier (kGetMaxEpoch reports only confirmed epochs).
+  EXPECT_EQ(dep->storage(1).max_epoch_seen(), 0u);
+  {
+    Writer w;
+    w.PutVarint64(100);
+    w.PutVarint32(9);
+    w.PutVarint32(2);
+    w.PutVarint64(5);
+    EXPECT_TRUE(call(kConfirmEpoch, w.Release()).first.ok());
+  }
+  EXPECT_EQ(dep->storage(1).max_epoch_seen(), 100u);
+
+  // A committed claim is never released — the epoch is history, not a slot.
+  {
+    Writer w;
+    w.PutVarint64(100);
+    w.PutVarint32(9);
+    w.PutVarint64(5);
+    dep->storage(0).SendOneWay(1, kReleaseEpoch, w.Release());
+  }
+  dep->RunFor(sim::kMicrosPerSec / 10);
+  Writer gw;
+  gw.PutVarint64(100);
+  auto [got, claim] = call(kGetEpochClaim, gw.Release());
+  ASSERT_TRUE(got.ok());
+  Reader cr(claim);
+  uint32_t cp = 0, cn = 0;
+  bool committed = false;
+  uint64_t cx = 0;
+  ASSERT_TRUE(cr.GetVarint32(&cp).ok() && cr.GetVarint32(&cn).ok() &&
+              cr.GetBool(&committed).ok() && cr.GetVarint64(&cx).ok());
+  EXPECT_EQ(cp, 9u);
+  EXPECT_TRUE(committed);
+}
+
+// Coordinator records alone must NOT advance the discovery frontier: a torn
+// publish leaves partial records, and a publisher basing on them would
+// absorb uncommitted state. Only the confirm protocol moves the frontier.
+TEST_F(StorageClusterTest, DiscoveryIgnoresUnconfirmedCoordinatorRecords) {
+  CoordinatorRecord rec;
+  rec.relation = "R";
+  rec.epoch = 50;
+  rec.participant = 3;
+  Writer w;
+  rec.EncodeTo(&w);
+  bool done = false;
+  Status out;
+  dep->storage(0).Call(1, kPutCoordinator, w.Release(),
+                       [&](Status s, const std::string&) {
+                         out = s;
+                         done = true;
+                       });
+  dep->RunUntil([&done] { return done; });
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(dep->storage(1).max_epoch_seen(), 0u)
+      << "an unconfirmed coordinator record moved the discovery frontier";
+}
+
+// A relation created AFTER epochs have already committed has no coordinator
+// record at the current base; the publish-path walk-back must carry its
+// creation record forward instead of wedging every future publish.
+TEST_F(StorageClusterTest, RelationCreatedMidStreamStaysPublishable) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R")).ok());
+  for (int i = 0; i < 4; ++i) {
+    UpdateBatch u;
+    u["R"] = {Update::Insert(Row("k" + std::to_string(i), "v"))};
+    ASSERT_TRUE(dep->Publish(0, std::move(u)).ok());
+  }
+  // S's first record lands at the CURRENT epoch (4); the next publish's base
+  // walk must find it below the new base.
+  ASSERT_TRUE(dep->CreateRelation(1, SimpleRelation("S")).ok());
+  UpdateBatch s;
+  s["S"] = {Update::Insert(Row("s0", "x"))};
+  auto e = dep->Publish(2, std::move(s));
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  auto rows = dep->Retrieve(3, "S", *e);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(AsBag(*rows), (std::multiset<std::string>{"('s0', 'x')"}));
+  // And R's carried-forward state is intact at the new epoch.
+  auto r_rows = dep->Retrieve(3, "R", *e);
+  ASSERT_TRUE(r_rows.ok());
+  EXPECT_EQ(r_rows->size(), 4u);
+}
+
+// The commit gate: a same-epoch coordinator record from a DIFFERENT
+// participant is refused with kEpochTaken (first committed writer wins);
+// the same participant's byte-identical retry overwrites freely.
+TEST_F(StorageClusterTest, CommitGateRefusesConflictingSameEpochRecord) {
+  auto put = [&](ParticipantId p) {
+    CoordinatorRecord rec;
+    rec.relation = "R";
+    rec.epoch = 9;
+    rec.participant = p;
+    Writer w;
+    rec.EncodeTo(&w);
+    Status out;
+    bool done = false;
+    dep->storage(0).Call(2, kPutCoordinator, w.Release(),
+                         [&](Status s, const std::string&) {
+                           out = s;
+                           done = true;
+                         });
+    dep->RunUntil([&done] { return done; });
+    return out;
+  };
+  EXPECT_TRUE(put(1).ok());
+  EXPECT_TRUE(put(1).ok());  // same-participant retry overwrites
+  Status conflict = put(2);
+  EXPECT_TRUE(conflict.IsEpochTaken()) << conflict.ToString();
+  EXPECT_GE(dep->storage(2).counters().coordinator_conflicts, 1u);
 }
 
 }  // namespace
