@@ -1,5 +1,6 @@
 #include "net/rpc.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 
@@ -44,6 +45,8 @@ RpcClient::~RpcClient() { DropAll(); }
 
 void RpcClient::DropAll() {
   sim::Simulator* sim = host_->network()->simulator();
+  // lint:allow(det-unordered-iter): cancel + count only; no callbacks run
+  // and no messages are sent, so order cannot reach the trace.
   for (auto& [id, pc] : pending_) {
     sim->Cancel(pc.deadline_event);
     counters_.cancelled += 1;
@@ -138,9 +141,15 @@ void RpcClient::CallFirst(std::vector<NodeId> targets, uint16_t code,
 
 void RpcClient::FailPeer(NodeId peer) {
   std::vector<uint64_t> orphans;
+  // lint:allow(det-unordered-iter): collect-only; resolution order is fixed
+  // by the sort below, not by table order.
   for (const auto& [id, pc] : pending_) {
     if (pc.to == peer) orphans.push_back(id);
   }
+  // Reap in issue order (req-ids are monotonic): orphan callbacks can send
+  // messages, so their firing order feeds the trace and must not be a hash
+  // artifact.
+  std::sort(orphans.begin(), orphans.end());
   for (uint64_t id : orphans) {
     Resolve(id, Resolution::kReap, Status::Unavailable("peer failed"), {});
   }
