@@ -43,6 +43,14 @@ class DynamicBitset {
     return bits_ == other.bits_ && words_ == other.words_;
   }
 
+  /// Total order (size, then word-lexicographic): lets bitset-keyed maps be
+  /// ordered, so iteration order is deterministic — required anywhere the
+  /// traversal feeds emitted rows or wire frames (det-unordered-iter).
+  bool operator<(const DynamicBitset& other) const {
+    if (bits_ != other.bits_) return bits_ < other.bits_;
+    return words_ < other.words_;
+  }
+
   /// Stable hash for use as unordered_map key.
   size_t Hash() const;
 

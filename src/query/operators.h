@@ -149,7 +149,9 @@ class AggregateOp : public Operator {
   };
   struct Group {
     Tuple group_vals;
-    std::unordered_map<DynamicBitset, SubGroup, DynamicBitsetHash> subs;
+    // Ordered by taint so sub-group emission order (which feeds output
+    // blocks, hence wire frames) is deterministic, not a hash artifact.
+    std::map<DynamicBitset, SubGroup> subs;
   };
   std::map<std::string, Group> groups_;
 };
