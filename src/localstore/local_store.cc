@@ -416,14 +416,14 @@ Status LocalStore::Put(std::string_view key, std::string_view value) {
 }
 
 Result<std::string> LocalStore::Get(std::string_view key) const {
-  stats_.gets += 1;
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
   size_t hidx = HashFind(HashKey(key), key);
   if (hidx == kNoSlot) return Status::NotFound("localstore: no such key");
   return std::string(log_[live_[htable_[hidx].idx1 - 1]].value());
 }
 
 Result<std::string_view> LocalStore::GetView(std::string_view key) const {
-  stats_.gets += 1;
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
   size_t hidx = HashFind(HashKey(key), key);
   if (hidx == kNoSlot) return Status::NotFound("localstore: no such key");
   return log_[live_[htable_[hidx].idx1 - 1]].value();

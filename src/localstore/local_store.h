@@ -27,6 +27,7 @@
 #ifndef ORCHESTRA_LOCALSTORE_LOCAL_STORE_H_
 #define ORCHESTRA_LOCALSTORE_LOCAL_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -41,7 +42,11 @@ namespace orchestra::localstore {
 
 struct StoreStats {
   uint64_t puts = 0;
-  uint64_t gets = 0;
+  /// Bumped on the const read path (Get/GetView) with relaxed atomics: the
+  /// read path must stay safe under concurrent read-only access (the TSan
+  /// smoke gate; ROADMAP real-thread concurrency). Mutating counters stay
+  /// plain — writes are single-threaded by contract.
+  std::atomic<uint64_t> gets{0};
   uint64_t deletes = 0;
   uint64_t log_records = 0;       // total records ever appended
   uint64_t log_bytes = 0;         // total bytes ever appended
