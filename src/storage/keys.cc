@@ -136,4 +136,16 @@ bool ParseClaim(std::string_view key, Epoch* out) {
   return ReadEpochBE(&r, out) && r.AtEnd();
 }
 
+bool ParseInverse(std::string_view key, ParsedInverseKey* out) {
+  if (key.empty() || key[0] != 'I') return false;
+  Reader r(key.substr(1));
+  return r.GetStringView(&out->relation).ok() && ReadU32BE(&r, &out->partition) &&
+         r.AtEnd();
+}
+
+std::string_view VersionGroupPrefix(std::string_view key) {
+  if (key.size() < 9) return {};  // tag + 8-byte epoch minimum
+  return key.substr(0, key.size() - 8);
+}
+
 }  // namespace orchestra::storage::keys

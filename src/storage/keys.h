@@ -17,6 +17,25 @@
 
 namespace orchestra::storage::keys {
 
+// Namespace tag bytes — the first byte of every stored key. These constants
+// and the builders/parsers below are the ONE codec for stored-key bytes;
+// dispatching on a raw character literal or slicing key bytes by hand
+// anywhere else is a codec-unity lint violation
+// (docs/STATIC_ANALYSIS.md#codec-rawkey).
+inline constexpr char kDataTag = 'D';
+inline constexpr char kPageTag = 'P';
+inline constexpr char kInverseTag = 'I';
+inline constexpr char kCoordTag = 'C';
+inline constexpr char kCatalogTag = 'M';
+inline constexpr char kClaimTag = 'E';
+
+/// Namespace tag of a stored key ('\0' for the empty key). The only
+/// sanctioned way to dispatch on a key's record family.
+inline char Tag(std::string_view key) { return key.empty() ? '\0' : key[0]; }
+
+/// One-byte seek prefix for a whole namespace (e.g. the GC sweeps).
+inline std::string TagPrefix(char tag) { return std::string(1, tag); }
+
 /// Varint-length-prefixed string: makes multi-part keys prefix-free.
 void AppendLenPrefixed(std::string* out, std::string_view s);
 void AppendEpochBE(std::string* out, Epoch e);
@@ -83,6 +102,20 @@ bool ParseCoord(std::string_view key, ParsedCoordKey* out);
 
 /// Epoch of an epoch-claim key.
 bool ParseClaim(std::string_view key, Epoch* out);
+
+/// Fields of an inverse-node key: relation, partition (no epoch — the value
+/// holds the latest PageId).
+struct ParsedInverseKey {
+  std::string_view relation;
+  uint32_t partition = 0;
+};
+bool ParseInverse(std::string_view key, ParsedInverseKey* out);
+
+/// Version-group prefix of a data or page key: the key minus its trailing
+/// 8-byte big-endian epoch. Keys of one group differ only in epoch and sort
+/// oldest-first, which is what the GC retirement pass walks. Returns an
+/// empty view for keys too short to carry an epoch suffix.
+std::string_view VersionGroupPrefix(std::string_view key);
 
 }  // namespace orchestra::storage::keys
 

@@ -52,6 +52,7 @@ uint32_t StorageService::LocalLoadHint() const {
 uint32_t StorageService::MaxRecentPeerLoad(sim::SimTime window_us) const {
   sim::SimTime now = host_->network()->simulator()->now();
   uint32_t worst = 0;
+  // lint:allow(det-unordered-iter): max-aggregation is order-independent.
   for (const auto& [peer, load] : peer_load_) {
     if (now - load.at <= window_us) worst = std::max(worst, load.hint);
   }
@@ -512,7 +513,7 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       for (uint64_t i = 0; i < n; ++i) {
         std::string_view key, value;
         if (!r->GetStringView(&key).ok() || !r->GetStringView(&value).ok()) return;
-        if (!key.empty() && key[0] == 'E') {
+        if (keys::Tag(key) == keys::kClaimTag) {
           // Epoch claims merge by commit status: a CONFIRMED claim replaces
           // an unconfirmed one (the commit is a fact), but never vice versa.
           Reader vr(value);
@@ -539,7 +540,7 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
           }
           continue;
         }
-        if (!key.empty() && key[0] == 'C') {
+        if (keys::Tag(key) == keys::kCoordTag) {
           // Coordinator records replicate store-if-absent like everything
           // else, EXCEPT when replicas disagree about a (rel, epoch)'s
           // writer — possible only after the commit-gate backstop fired
@@ -565,7 +566,7 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
           continue;
         }
         if (!store_.Contains(key)) store_.Put(key, value).ok();
-        if (!key.empty() && key[0] == 'M') {
+        if (keys::Tag(key) == keys::kCatalogTag) {
           Reader cr(value);
           RelationDef def;
           if (RelationDef::DecodeFrom(&cr, &def).ok()) catalog_[def.name] = def;
@@ -726,7 +727,7 @@ void StorageService::HandleScanPage(net::NodeId from, Reader* r, uint64_t req_id
   Respond(from, req_id, Status::OK(), w.Release());
 }
 
-void StorageService::HandleFetchTuples(net::NodeId from, Reader* r) {
+void StorageService::HandleFetchTuples(net::NodeId /*from*/, Reader* r) {
   uint64_t scan_id;
   uint32_t requester;
   std::string rel;
@@ -771,7 +772,7 @@ void StorageService::HandleFetchTuples(net::NodeId from, Reader* r) {
   SendOneWay(requester, kTupleData, out.Release());
 }
 
-void StorageService::HandleTupleData(net::NodeId from, Reader* r) {
+void StorageService::HandleTupleData(net::NodeId /*from*/, Reader* r) {
   uint64_t scan_id;
   std::string rel;
   if (!r->GetU64(&scan_id).ok() || !r->GetString(&rel).ok()) return;
@@ -909,8 +910,8 @@ void StorageService::StartPageScan(uint64_t scan_id, const PageDescriptor& desc,
 
   Call(replicas[replica_idx], kScanPage, w.Release(),
        [this, scan_id, desc, replica_idx](Status st, const std::string& reply) {
-         auto it = scans_.find(scan_id);
-         if (it == scans_.end()) return;
+         auto sit = scans_.find(scan_id);
+         if (sit == scans_.end()) return;
          if (!st.ok()) {
            StartPageScan(scan_id, desc, replica_idx + 1);
            return;
@@ -921,8 +922,8 @@ void StorageService::StartPageScan(uint64_t scan_id, const PageDescriptor& desc,
            ScanFail(scan_id, Status::Corruption("bad page summary"));
            return;
          }
-         it->second.summaries_received += 1;
-         it->second.data_parts_expected += parts;
+         sit->second.summaries_received += 1;
+         sit->second.data_parts_expected += parts;
          ScanCheckDone(scan_id);
        });
 }
@@ -979,8 +980,8 @@ void StorageService::RecoverMissingTuple(uint64_t scan_id, const TupleId& id,
   id.EncodeTo(&w);
   Call(replicas[replica_idx], kGetTuple, w.Release(),
        [this, scan_id, id, replica_idx](Status st, const std::string& reply) {
-         auto it = scans_.find(scan_id);
-         if (it == scans_.end()) return;
+         auto sit = scans_.find(scan_id);
+         if (sit == scans_.end()) return;
          if (!st.ok()) {
            RecoverMissingTuple(scan_id, id, replica_idx + 1);
            return;
@@ -991,8 +992,8 @@ void StorageService::RecoverMissingTuple(uint64_t scan_id, const TupleId& id,
            ScanFail(scan_id, Status::Corruption("bad tuple reply"));
            return;
          }
-         it->second.rows.push_back(std::move(t));
-         it->second.lookups_outstanding -= 1;
+         sit->second.rows.push_back(std::move(t));
+         sit->second.lookups_outstanding -= 1;
          ScanCheckDone(scan_id);
        });
 }
@@ -1040,51 +1041,46 @@ void StorageService::RebalanceTo(const overlay::RoutingSnapshot& snap) {
     std::string_view key = it.key();
     if (key.empty()) continue;
     std::vector<net::NodeId> targets;
-    switch (key[0]) {
-      case 'D': {
-        Reader r(key.substr(1));
-        std::string_view rel;
-        if (!r.GetStringView(&rel).ok()) continue;
-        char hash_bytes[20];
-        if (!r.GetRaw(hash_bytes, 20).ok()) continue;
-        HashId h = HashId::FromBigEndianBytes(std::string_view(hash_bytes, 20));
+    switch (keys::Tag(key)) {
+      case keys::kDataTag: {
+        keys::ParsedDataKey dk;
+        if (!keys::ParseData(key, &dk)) continue;
+        HashId h = HashId::FromBigEndianBytes(dk.hash_be20);
         targets = snap.ReplicasOf(h, replication_);
         break;
       }
-      case 'P':
-      case 'I': {
-        Reader r(key.substr(1));
-        std::string_view rel;
-        if (!r.GetStringView(&rel).ok()) continue;
-        uint8_t pb[4];
-        if (!r.GetRaw(pb, 4).ok()) continue;
-        uint32_t partition = (static_cast<uint32_t>(pb[0]) << 24) |
-                             (static_cast<uint32_t>(pb[1]) << 16) |
-                             (static_cast<uint32_t>(pb[2]) << 8) | pb[3];
-        auto def = catalog_.find(std::string(rel));
+      case keys::kPageTag: {
+        keys::ParsedPageKey pk;
+        if (!keys::ParsePageRec(key, &pk)) continue;
+        auto def = catalog_.find(std::string(pk.relation));
         if (def == catalog_.end()) continue;
-        targets = snap.ReplicasOf(PartitionHome(partition, def->second.num_partitions),
+        targets = snap.ReplicasOf(
+            PartitionHome(pk.partition, def->second.num_partitions), replication_);
+        break;
+      }
+      case keys::kInverseTag: {
+        keys::ParsedInverseKey ik;
+        if (!keys::ParseInverse(key, &ik)) continue;
+        auto def = catalog_.find(std::string(ik.relation));
+        if (def == catalog_.end()) continue;
+        targets = snap.ReplicasOf(
+            PartitionHome(ik.partition, def->second.num_partitions), replication_);
+        break;
+      }
+      case keys::kCoordTag: {
+        keys::ParsedCoordKey ck;
+        if (!keys::ParseCoord(key, &ck)) continue;
+        targets = snap.ReplicasOf(CoordinatorHash(std::string(ck.relation), ck.epoch),
                                   replication_);
         break;
       }
-      case 'C': {
-        Reader r(key.substr(1));
-        std::string_view rel;
-        if (!r.GetStringView(&rel).ok()) continue;
-        uint8_t eb[8];
-        if (!r.GetRaw(eb, 8).ok()) continue;
-        Epoch e = 0;
-        for (int i = 0; i < 8; ++i) e = (e << 8) | eb[i];
-        targets = snap.ReplicasOf(CoordinatorHash(std::string(rel), e), replication_);
-        break;
-      }
-      case 'E': {
+      case keys::kClaimTag: {
         Epoch e;
         if (!keys::ParseClaim(key, &e)) continue;
         targets = snap.ReplicasOf(ClaimHash(e), replication_);
         break;
       }
-      case 'M': {
+      case keys::kCatalogTag: {
         for (const auto& m : snap.members()) targets.push_back(m.node);
         break;
       }
@@ -1160,7 +1156,8 @@ void StorageService::RetireBelowWatermark() {
 
   // Coordinator records: retrieval is supported at epochs [w, current], so
   // any coordinator record below the watermark is unreachable.
-  for (auto it = store_.SeekPrefix("C"); it.Valid(); it.Next()) {
+  for (auto it = store_.SeekPrefix(keys::TagPrefix(keys::kCoordTag));
+       it.Valid(); it.Next()) {
     ++scanned;
     keys::ParsedCoordKey ck;
     if (!keys::ParseCoord(it.key(), &ck)) continue;
@@ -1172,7 +1169,8 @@ void StorageService::RetireBelowWatermark() {
 
   // Epoch claims below the watermark: their epoch committed (or was
   // abandoned and superseded) long ago; no publisher can contend for it.
-  for (auto it = store_.SeekPrefix("E"); it.Valid(); it.Next()) {
+  for (auto it = store_.SeekPrefix(keys::TagPrefix(keys::kClaimTag));
+       it.Valid(); it.Next()) {
     ++scanned;
     Epoch e;
     if (!keys::ParseClaim(it.key(), &e)) continue;
@@ -1217,7 +1215,7 @@ void StorageService::RetireBelowWatermark() {
       std::string_view key = it.key();
       Epoch epoch = 0;
       if (!epoch_of(key, &epoch)) continue;  // malformed: leave it alone
-      std::string_view prefix = key.substr(0, key.size() - 8);
+      std::string_view prefix = keys::VersionGroupPrefix(key);
       if (prefix != group) {
         flush_group();
         group.assign(prefix);
@@ -1236,14 +1234,14 @@ void StorageService::RetireBelowWatermark() {
     }
     flush_group();
   };
-  sweep_versions('P', &n_pages, /*reap_trailing_tombstone=*/false,
+  sweep_versions(keys::kPageTag, &n_pages, /*reap_trailing_tombstone=*/false,
                  [](std::string_view key, Epoch* e) {
                    keys::ParsedPageKey pk;
                    if (!keys::ParsePageRec(key, &pk)) return false;
                    *e = pk.epoch;
                    return true;
                  });
-  sweep_versions('D', &n_data, /*reap_trailing_tombstone=*/true,
+  sweep_versions(keys::kDataTag, &n_data, /*reap_trailing_tombstone=*/true,
                  [](std::string_view key, Epoch* e) {
                    keys::ParsedDataKey dk;
                    if (!keys::ParseData(key, &dk)) return false;
@@ -1270,7 +1268,8 @@ void StorageService::OnRestart() {
   // watermark resets to 0 and is re-learned from the next advertisement —
   // GC merely lags on a freshly restarted node.
   max_epoch_seen_ = 0;
-  for (auto it = store_.SeekPrefix("E"); it.Valid(); it.Next()) {
+  for (auto it = store_.SeekPrefix(keys::TagPrefix(keys::kClaimTag));
+       it.Valid(); it.Next()) {
     Epoch e;
     if (!keys::ParseClaim(it.key(), &e)) continue;
     Reader vr(it.value());

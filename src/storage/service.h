@@ -261,6 +261,8 @@ class StorageService : public net::Service {
   /// deadline closures are cancelled eagerly, like resolved RPC deadlines.
   void OnSelfFailed() override {
     rpc_.DropAll();
+    // lint:allow(det-unordered-iter): cancels deadline closures only; no
+    // callbacks run on a halted node, so order cannot reach the trace.
     for (auto& [id, scan] : scans_) {
       host_->network()->simulator()->Cancel(scan.deadline_event);
     }
