@@ -103,12 +103,15 @@ Result<storage::Epoch> Participant::Publish() {
                                      lu.relation);
     }
     Tuple t(src.begin(), src.begin() + logical_key);
-    t.push_back(Value(name_));
+    t.emplace_back(name_);
     t.insert(t.end(), src.begin() + logical_key, src.end());
-    t.push_back(Value(static_cast<int64_t>(trust_priority_)));
-    batch[shared_name].push_back(lu.update.kind == Update::Kind::kInsert
-                                     ? Update::Insert(std::move(t))
-                                     : Update::Delete(std::move(t)));
+    t.emplace_back(static_cast<int64_t>(trust_priority_));
+    auto& dst = batch[shared_name];
+    if (lu.update.kind == Update::Kind::kInsert) {
+      dst.push_back(Update::Insert(std::move(t)));
+    } else {
+      dst.push_back(Update::Delete(std::move(t)));
+    }
   }
   if (batch.empty()) return Status::FailedPrecondition("nothing to publish");
 

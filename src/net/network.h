@@ -43,7 +43,7 @@ class MessageHandler {
   /// serialized body. Runs on the node's (simulated) thread.
   virtual void OnMessage(NodeId from, uint32_t type, const std::string& payload) = 0;
   /// The TCP connection to `peer` dropped (peer failed or partitioned).
-  virtual void OnConnectionDrop(NodeId peer) {}
+  virtual void OnConnectionDrop(NodeId /*peer*/) {}
 };
 
 /// Link characteristics; defaults model the paper's Gigabit LAN.

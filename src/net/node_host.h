@@ -25,7 +25,7 @@ class Service {
  public:
   virtual ~Service() = default;
   virtual void OnMessage(NodeId from, uint16_t code, const std::string& payload) = 0;
-  virtual void OnConnectionDrop(NodeId peer) {}
+  virtual void OnConnectionDrop(NodeId /*peer*/) {}
   /// This node itself was marked failed (fail-stop). Release per-call and
   /// per-query state WITHOUT invoking completion callbacks: the node is
   /// halted, so nothing may execute on it anymore.

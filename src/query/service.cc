@@ -73,16 +73,16 @@ void QueryService::Execute(const PhysicalPlan& plan, storage::Epoch epoch,
     storage_->GetCoordinator(
         rel, epoch,
         [this, qid, op, remaining, failed](Status st, storage::CoordinatorRecord rec) {
-          Root* root = FindRoot(qid);
-          if (root == nullptr) return;
+          Root* live = FindRoot(qid);
+          if (live == nullptr) return;
           if (!st.ok() && failed->ok()) *failed = st;
-          if (st.ok()) root->bindings[op] = std::move(rec);
+          if (st.ok()) live->bindings[op] = std::move(rec);
           if (--*remaining == 0) {
             if (!failed->ok()) {
-              FinishRoot(*root, *failed);
+              FinishRoot(*live, *failed);
               return;
             }
-            DisseminatePlan(*root);
+            DisseminatePlan(*live);
           }
         });
   }
@@ -127,7 +127,7 @@ std::vector<net::NodeId> QueryService::LiveMembers(const Exec& ex) const {
   return live;
 }
 
-void QueryService::HandleShipBlock(net::NodeId from, const std::string& payload) {
+void QueryService::HandleShipBlock(net::NodeId /*from*/, const std::string& payload) {
   TupleBlock block;
   if (!TupleBlock::Decode(payload, &block).ok()) return;
   Root* root = FindRoot(block.query_id);
@@ -428,7 +428,7 @@ void QueryService::BufferPending(uint64_t query_id, net::NodeId from, uint16_t c
 // ===========================================================================
 // Worker: plan instantiation and scans
 
-void QueryService::HandlePlan(net::NodeId from, const std::string& payload) {
+void QueryService::HandlePlan(net::NodeId /*from*/, const std::string& payload) {
   Reader r(payload);
   auto ex = std::make_unique<Exec>();
   uint64_t qid;
@@ -668,7 +668,7 @@ void QueryService::ProcessPage(Exec& ex, int32_t scan_op, const storage::Page& p
     // ordered pass keeps recovery's fixed cost proportional to lost data.)
     storage_->ScanPageLocal(
         op.relation, local_part, op.key_filter,
-        [this, &ex, scan_op](const storage::TupleId& id, Tuple t) {
+        [this, &ex, scan_op](const storage::TupleId& /*id*/, Tuple t) {
           InjectScanRow(ex, scan_op, std::move(t),
                         SingletonTaint(ex.cx.taint_bits, node()));
         },

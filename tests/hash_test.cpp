@@ -163,7 +163,9 @@ TEST_P(PartitionProperty, EveryHashLandsInItsPartition) {
     while (idx + 1 < n && width.MultiplyBy(idx + 1) <= h) ++idx;
     HashId begin = width.MultiplyBy(idx);
     EXPECT_LE(begin, h);
-    if (idx + 1 < n) EXPECT_LT(h, width.MultiplyBy(idx + 1));
+    if (idx + 1 < n) {
+      EXPECT_LT(h, width.MultiplyBy(idx + 1));
+    }
   }
 }
 

@@ -75,8 +75,8 @@ TEST_P(StbDistributed, MatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, StbDistributed,
                          ::testing::ValuesIn(workload::kAllStbScenarios),
-                         [](const auto& info) {
-                           return workload::StbScenarioName(info.param);
+                         [](const auto& test_info) {
+                           return workload::StbScenarioName(test_info.param);
                          });
 
 // ---------------------------------------------------------------------------
@@ -103,7 +103,7 @@ TEST_P(TpchDistributed, MatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(PaperQueries, TpchDistributed,
                          ::testing::ValuesIn(workload::TpchQueryNames()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& test_info) { return test_info.param; });
 
 // ---------------------------------------------------------------------------
 // TPC-H under failure: Q1 and Q10 (the paper's Fig. 21 pair) with a node
@@ -167,9 +167,9 @@ INSTANTIATE_TEST_SUITE_P(
         FailCase{"Q1", query::QueryOptions::RecoveryMode::kRestart, 0.4},
         FailCase{"Q10", query::QueryOptions::RecoveryMode::kIncremental, 0.5},
         FailCase{"Q10", query::QueryOptions::RecoveryMode::kRestart, 0.5}),
-    [](const auto& info) {
-      return info.param.query +
-             (info.param.mode == query::QueryOptions::RecoveryMode::kIncremental
+    [](const auto& test_info) {
+      return test_info.param.query +
+             (test_info.param.mode == query::QueryOptions::RecoveryMode::kIncremental
                   ? "_Recovery"
                   : "_Restart");
     });

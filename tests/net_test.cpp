@@ -15,7 +15,7 @@ struct Recorder : public MessageHandler {
     std::string payload;
     sim::SimTime at;
   };
-  explicit Recorder(sim::Simulator* sim) : sim(sim) {}
+  explicit Recorder(sim::Simulator* s) : sim(s) {}
   void OnMessage(NodeId from, uint32_t type, const std::string& payload) override {
     msgs.push_back({from, type, payload, sim->now()});
   }

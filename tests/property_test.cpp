@@ -172,8 +172,8 @@ TEST_P(RandomQueryProperty, DistributedMatchesReference) {
     return dep.storage(0).Relation(name);
   };
   optimizer::StatsCatalog stats;
-  stats["F"] = {static_cast<uint64_t>(n_fact), 36};
-  stats["D"] = {static_cast<uint64_t>(n_dim), 16};
+  stats["F"] = {static_cast<uint64_t>(n_fact), 36, {}};
+  stats["D"] = {static_cast<uint64_t>(n_dim), 16, {}};
   optimizer::CostParams params;
   params.num_nodes = dep.size();
 

@@ -168,10 +168,10 @@ class OptimizerTest : public SqlTest {
     auto q = sql::ParseAndAnalyze(text, catalog_);
     EXPECT_TRUE(q.ok()) << q.status().ToString();
     StatsCatalog stats;
-    stats["R"] = RelationStats{100000, 60};
-    stats["S"] = RelationStats{5000, 40};
-    stats["T"] = RelationStats{50000, 48};
-    stats["Tiny"] = RelationStats{25, 30};
+    stats["R"] = RelationStats{100000, 60, {}};
+    stats["S"] = RelationStats{5000, 40, {}};
+    stats["T"] = RelationStats{50000, 48, {}};
+    stats["Tiny"] = RelationStats{25, 30, {}};
     CostParams params;
     params.num_nodes = nodes;
     Optimizer opt(stats, params);
@@ -250,9 +250,9 @@ TEST_F(OptimizerTest, BranchAndBoundPrunes) {
       "SELECT x, w FROM R, S, U WHERE R.y = S.y AND S.z = U.z", catalog_);
   ASSERT_TRUE(q.ok()) << q.status().ToString();
   StatsCatalog stats;
-  stats["R"] = RelationStats{100000, 60};
-  stats["S"] = RelationStats{5000, 40};
-  stats["U"] = RelationStats{100, 30};
+  stats["R"] = RelationStats{100000, 60, {}};
+  stats["S"] = RelationStats{5000, 40, {}};
+  stats["U"] = RelationStats{100, 30, {}};
   Optimizer opt(stats, {});
   auto planned = opt.Plan(*q);
   ASSERT_TRUE(planned.ok()) << planned.status().ToString();
@@ -306,9 +306,9 @@ class SqlEndToEnd : public ::testing::Test {
     catalog = [this](const std::string& name) {
       return dep->storage(0).Relation(name);
     };
-    stats["R"] = RelationStats{400, 20};
-    stats["S"] = RelationStats{30, 12};
-    stats["T"] = RelationStats{500, 24};
+    stats["R"] = RelationStats{400, 20, {}};
+    stats["S"] = RelationStats{30, 12, {}};
+    stats["T"] = RelationStats{500, 24, {}};
   }
 
   void CheckSql(const std::string& text) {

@@ -253,7 +253,9 @@ TEST_F(StorageClusterTest, PaperExample41VersionedSnapshots) {
   // "It would never simply return the data for <f,0>; it knows that data is
   // stale because it does not appear in the index page."
   for (const auto& t : *at2) {
-    if (t[0] == Value(std::string("f"))) EXPECT_EQ(t[1], Value(std::string("a")));
+    if (t[0] == Value(std::string("f"))) {
+      EXPECT_EQ(t[1], Value(std::string("a")));
+    }
   }
 }
 

@@ -102,15 +102,21 @@ TEST_P(StbScenarioParse, SqlParsesAndPlansAndRunsOnReference) {
   auto rows = query::ReferenceExecute(planned->plan, AsReferenceDb(rels));
   ASSERT_TRUE(rows.ok()) << rows.status().ToString();
   EXPECT_GT(rows->size(), 0u) << StbScenarioName(GetParam());
-  if (GetParam() == StbScenario::kCopy) EXPECT_EQ(rows->size(), 300u);
-  if (GetParam() == StbScenario::kJoin) EXPECT_EQ(rows->size(), 300u);
-  if (GetParam() == StbScenario::kCorrespondence) EXPECT_EQ(rows->size(), 300u);
+  if (GetParam() == StbScenario::kCopy) {
+    EXPECT_EQ(rows->size(), 300u);
+  }
+  if (GetParam() == StbScenario::kJoin) {
+    EXPECT_EQ(rows->size(), 300u);
+  }
+  if (GetParam() == StbScenario::kCorrespondence) {
+    EXPECT_EQ(rows->size(), 300u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, StbScenarioParse,
                          ::testing::ValuesIn(kAllStbScenarios),
-                         [](const auto& info) {
-                           return StbScenarioName(info.param);
+                         [](const auto& test_info) {
+                           return StbScenarioName(test_info.param);
                          });
 
 // ---------------------------------------------------------------------------
@@ -235,7 +241,7 @@ TEST_P(TpchQueryParse, ParsesPlansAndRunsOnReference) {
 
 INSTANTIATE_TEST_SUITE_P(PaperQueries, TpchQueryParse,
                          ::testing::ValuesIn(TpchQueryNames()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& test_info) { return test_info.param; });
 
 }  // namespace
 }  // namespace orchestra::workload
