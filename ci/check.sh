@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 build + full test suite, the sanitizer suite with leak
-# detection on the layers that own async RPC state, a bench smoke run that
-# validates the BENCH_*.json perf-tracking output, and a perf-trajectory
-# diff of fresh BENCH_*.json against the committed bench/results/ baselines.
+# CI gate. Stages:
 #
-#   ci/check.sh            # all stages
-#   ci/check.sh tier1      # just the tier-1 verify command
-#   ci/check.sh sanitize   # just the ASan/UBSan/LSan stage
-#   ci/check.sh bench      # just the bench JSON smoke stage
-#   ci/check.sh benchdiff  # just the perf-regression diff stage
-#   ci/check.sh docs       # relative-link check over README/docs/ + compile
-#                          # every example program
+#   tier1      configure + build (warnings-as-errors) + full ctest suite
+#   sanitize   ASan/UBSan with leak detection on the suites that own async
+#              RPC state, storage churn, and the raw LocalStore paths
+#   tsan       ThreadSanitizer build + the real-thread smoke suite
+#   lint       project-invariant linter (tools/lint/) over src/, then its
+#              fixture selftest — every rule must flag and pass on cue
+#   tidy       clang-tidy (per .clang-tidy) over the compilation database;
+#              SKIPs with a notice when clang-tidy is not installed
+#   bench      micro-substrate smoke run + BENCH_*.json field validation
+#   benchdiff  fresh BENCH_*.json vs committed bench/results/ baselines
+#   docs       relative-link check over README/docs/ + compile every example
+#   all        every stage above, in that order
+#
+#   ci/check.sh [stage]    # default: all
+#
+# A failing stage prints the exact command to reproduce it in isolation.
 #
 # ORCHESTRA_BENCH_TOLERANCE (default 0.35): a fresh entry fails the diff when
 # its ops_per_sec drops below tolerance * committed — generous because wall
@@ -21,6 +27,25 @@ cd "$(dirname "$0")/.."
 stage="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+# Reproduce-command reporting: every stage runs with errexit live (wrapping
+# the call in `if !` would suppress set -e inside the function); the EXIT
+# trap names the stage that was in flight and how to rerun it alone.
+current_stage=""
+on_exit() {
+  local code=$?
+  if [[ "$code" -ne 0 && -n "$current_stage" ]]; then
+    echo "== stage '$current_stage' FAILED — reproduce with:" \
+         "ci/check.sh $current_stage" >&2
+  fi
+}
+trap on_exit EXIT
+
+run_stage() {
+  current_stage="$2"
+  "$1"
+  current_stage=""
+}
+
 tier1() {
   echo "== tier-1: configure + build + ctest"
   cmake -B build -S .
@@ -30,16 +55,49 @@ tier1() {
 
 sanitize() {
   echo "== sanitizer: address,undefined with leak detection"
+  local suites="storage_test query_test integration_test rpc_lifecycle_test \
+    client_test churn_test localstore_test net_test"
   cmake -B build-asan -S . -DORC_SANITIZE=address,undefined \
         -DORC_BUILD_BENCH=OFF -DORC_BUILD_EXAMPLES=OFF
-  cmake --build build-asan -j "$jobs" \
-        --target storage_test query_test integration_test rpc_lifecycle_test \
-        client_test
-  for t in storage_test query_test integration_test rpc_lifecycle_test \
-           client_test; do
+  # shellcheck disable=SC2086
+  cmake --build build-asan -j "$jobs" --target $suites
+  for t in $suites; do
     echo "-- $t"
     ASAN_OPTIONS=detect_leaks=1 "./build-asan/$t"
   done
+}
+
+tsan() {
+  echo "== tsan: ThreadSanitizer build + real-thread smoke suite"
+  cmake -B build-tsan -S . -DORC_SANITIZE=thread \
+        -DORC_BUILD_BENCH=OFF -DORC_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$jobs" --target thread_smoke_test
+  ./build-tsan/thread_smoke_test
+}
+
+lint() {
+  echo "== lint: project-invariant linter over src/"
+  python3 tools/lint/orchestra_lint.py --root .
+  echo "== lint: fixture selftest (every rule flags and passes on cue)"
+  python3 tools/lint/orchestra_lint.py --selftest
+}
+
+tidy() {
+  echo "== tidy: clang-tidy over the compilation database"
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "tidy SKIPPED: clang-tidy not installed on this machine" \
+         "(.clang-tidy is the profile; install LLVM to run locally)"
+    return 0
+  fi
+  cmake -B build -S . > /dev/null   # exports build/compile_commands.json
+  local srcs
+  srcs="$(git ls-files 'src/*.cc' 'tests/*.cpp' 'bench/*.cpp')"
+  # shellcheck disable=SC2086
+  if command -v run-clang-tidy > /dev/null 2>&1; then
+    run-clang-tidy -p build -quiet -j "$jobs" $srcs
+  else
+    clang-tidy -p build --quiet $srcs
+  fi
 }
 
 bench_smoke() {
@@ -190,12 +248,27 @@ PY
 }
 
 case "$stage" in
-  tier1) tier1 ;;
-  sanitize) sanitize ;;
-  bench) bench_smoke ;;
-  benchdiff) bench_diff ;;
-  docs) docs_check ;;
-  all) tier1; sanitize; bench_smoke; bench_diff; docs_check ;;
-  *) echo "usage: ci/check.sh [tier1|sanitize|bench|benchdiff|docs|all]" >&2; exit 2 ;;
+  tier1) run_stage tier1 tier1 ;;
+  sanitize) run_stage sanitize sanitize ;;
+  tsan) run_stage tsan tsan ;;
+  lint) run_stage lint lint ;;
+  tidy) run_stage tidy tidy ;;
+  bench) run_stage bench_smoke bench ;;
+  benchdiff) run_stage bench_diff benchdiff ;;
+  docs) run_stage docs_check docs ;;
+  all)
+    run_stage tier1 tier1
+    run_stage sanitize sanitize
+    run_stage tsan tsan
+    run_stage lint lint
+    run_stage tidy tidy
+    run_stage bench_smoke bench
+    run_stage bench_diff benchdiff
+    run_stage docs_check docs
+    ;;
+  *)
+    echo "usage: ci/check.sh [tier1|sanitize|tsan|lint|tidy|bench|benchdiff|docs|all]" >&2
+    exit 2
+    ;;
 esac
 echo "== all checks passed"

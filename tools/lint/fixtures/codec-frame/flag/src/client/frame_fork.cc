@@ -1,0 +1,8 @@
+#include <cstdint>
+
+namespace orchestra::client {
+constexpr uint16_t kPutTuples = 2;
+// Re-declaring / re-encoding the nested tuple frame outside its codec:
+// must flag.
+uint16_t ForkedEncoder() { return kPutTuples; }
+}  // namespace orchestra::client

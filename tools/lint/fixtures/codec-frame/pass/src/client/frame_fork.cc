@@ -1,0 +1,8 @@
+#include <cstdint>
+#include <string>
+
+namespace orchestra::client {
+// Clients hand batches to storage::Publisher, which owns the kPutTuples
+// encoder; no frame bytes are built here.
+std::string Good() { return {}; }
+}  // namespace orchestra::client

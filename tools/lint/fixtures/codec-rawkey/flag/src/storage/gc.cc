@@ -1,0 +1,9 @@
+#include <string>
+#include <string_view>
+
+namespace orchestra::storage {
+// Ad-hoc offset arithmetic on stored-key bytes: must flag.
+bool IsCoord(std::string_view key) {
+  return !key.empty() && key[0] == 'C';
+}
+}  // namespace orchestra::storage

@@ -1,0 +1,8 @@
+#include "storage/keys.h"
+
+namespace orchestra::storage {
+// Tag dispatch through the one key codec.
+bool IsCoord(std::string_view key) {
+  return keys::Tag(key) == keys::kCoordTag;
+}
+}  // namespace orchestra::storage

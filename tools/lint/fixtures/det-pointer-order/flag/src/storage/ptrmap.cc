@@ -1,0 +1,8 @@
+#include <map>
+#include <string>
+
+namespace orchestra::storage {
+struct Rec { std::string bytes; };
+// Pointer-keyed ordered map: iteration follows address order (ASLR-varying).
+std::map<Rec*, int> BuildIndex() { return {}; }
+}  // namespace orchestra::storage

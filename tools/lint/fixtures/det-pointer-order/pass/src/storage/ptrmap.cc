@@ -1,0 +1,9 @@
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace orchestra::storage {
+struct Rec { uint64_t id; std::string bytes; };
+// Keyed by a stable identifier instead of an address.
+std::map<uint64_t, int> BuildIndex() { return {}; }
+}  // namespace orchestra::storage

@@ -1,0 +1,6 @@
+#include <cstdlib>
+
+namespace orchestra::workload {
+// Unseeded global PRNG: must flag.
+int Bad() { return std::rand(); }
+}  // namespace orchestra::workload

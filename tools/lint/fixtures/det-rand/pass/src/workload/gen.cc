@@ -1,0 +1,6 @@
+#include "common/rng.h"
+
+namespace orchestra::workload {
+// Explicitly seeded project PRNG: reproducible bit-for-bit.
+uint64_t Good(uint64_t seed) { return Rng(seed).NextU64(); }
+}  // namespace orchestra::workload

@@ -1,0 +1,13 @@
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace orchestra::net {
+struct Frame { std::string bytes; };
+std::unordered_map<uint64_t, Frame> table_;
+
+// Emission follows hash-table order: must flag.
+void EmitAll(void (*send)(const Frame&)) {
+  for (const auto& [id, frame] : table_) send(frame);
+}
+}  // namespace orchestra::net

@@ -1,0 +1,18 @@
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace orchestra::net {
+struct Frame { std::string bytes; };
+std::unordered_map<uint64_t, Frame> table_;
+
+// Order-independent aggregation over the same table, with the escape hatch
+// documenting why table order cannot reach the trace.
+uint64_t TotalBytes() {
+  uint64_t n = 0;
+  // lint:allow(det-unordered-iter): sum is order-independent; no messages
+  // are sent from this loop.
+  for (const auto& [id, frame] : table_) n += frame.bytes.size();
+  return n;
+}
+}  // namespace orchestra::net

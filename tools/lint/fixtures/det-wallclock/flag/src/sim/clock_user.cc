@@ -1,0 +1,9 @@
+#include <chrono>
+
+namespace orchestra::sim {
+// Reading the host clock inside the simulated world: must flag.
+uint64_t Bad() {
+  auto t = std::chrono::system_clock::now();
+  return static_cast<uint64_t>(t.time_since_epoch().count());
+}
+}  // namespace orchestra::sim

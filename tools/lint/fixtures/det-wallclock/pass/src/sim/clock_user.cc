@@ -1,0 +1,6 @@
+#include "sim/simulator.h"
+
+namespace orchestra::sim {
+// Simulated time from the simulator: the sanctioned clock.
+uint64_t Good(Simulator* sim) { return sim->now(); }
+}  // namespace orchestra::sim

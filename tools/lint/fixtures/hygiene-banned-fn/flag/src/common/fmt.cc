@@ -1,0 +1,8 @@
+#include <cstdio>
+
+namespace orchestra {
+// Unbounded C string API: must flag.
+void Bad(char* out, const char* name) {
+  sprintf(out, "node-%s", name);
+}
+}  // namespace orchestra

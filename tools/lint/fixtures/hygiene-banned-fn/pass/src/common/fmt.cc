@@ -1,0 +1,11 @@
+#include <cstdio>
+#include <string>
+
+namespace orchestra {
+// Bounded formatting.
+std::string Good(const char* name) {
+  char buf[64];
+  snprintf(buf, sizeof buf, "node-%s", name);
+  return buf;
+}
+}  // namespace orchestra

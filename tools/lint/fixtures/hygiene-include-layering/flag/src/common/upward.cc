@@ -1,0 +1,7 @@
+#include "storage/keys.h"
+
+namespace orchestra {
+// src/common sits at the bottom of the link graph; including upward
+// inverts a layer edge and must flag.
+int Bad() { return orchestra::storage::keys::kDataTag; }
+}  // namespace orchestra

@@ -1,0 +1,8 @@
+#include "common/status.h"
+#include "localstore/local_store.h"
+#include "overlay/ring.h"
+
+namespace orchestra::storage {
+// storage links localstore + overlay (and their closures): all downward.
+Status Good() { return Status::OK(); }
+}  // namespace orchestra::storage

@@ -1,0 +1,9 @@
+#include "net/node_host.h"
+
+namespace orchestra::storage {
+// Sending through the raw network bypasses the pending-call table:
+// must flag.
+void Bad(net::NodeHost* host, net::NodeId to, std::string body) {
+  host->network()->Send(host->node(), to, 0x20001, std::move(body));
+}
+}  // namespace orchestra::storage

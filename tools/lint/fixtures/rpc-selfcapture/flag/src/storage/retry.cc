@@ -1,0 +1,10 @@
+#include <functional>
+#include <memory>
+
+namespace orchestra::storage {
+// The PR-1 leak class: a closure kept alive by a shared_ptr it captures.
+void Bad() {
+  auto fn = std::make_shared<std::function<void()>>();
+  *fn = [fn]() { (*fn)(); };
+}
+}  // namespace orchestra::storage

@@ -1,0 +1,7 @@
+#include <cstdint>
+
+namespace orchestra::storage {
+// Retry state lives in the RPC pending-call table (RpcClient::CallFirst),
+// owned by value per attempt — no self-referential closure.
+struct RetryState { uint32_t attempts = 0; };
+}  // namespace orchestra::storage
