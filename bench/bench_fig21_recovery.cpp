@@ -2,12 +2,33 @@
 // comparing full restart against incremental recomputation (8 nodes, TPC-H
 // SF 2 at paper scale). The failure time sweeps over the query's lifetime;
 // the paper found incremental recovery ~20% faster than restart.
+//
+// Part two measures the other recovery axis this repo adds on top of the
+// paper: NODE restart cost. A LocalStore is loaded through a real on-disk
+// WAL (wal::FileBackend) at 1x/10x/100x store sizes, with checkpoints on vs
+// off, and a fresh store recovers from the files. With checkpoints the
+// replay tail is bounded by the checkpoint cadence — recovery work stays
+// flat while the store grows 100x — and benchdiff enforces that bound on
+// the deterministic replayed_records counter (docs/DURABILITY.md).
+//
+// ORCHESTRA_BENCH_SMOKE=1 shrinks both parts for the CI benchdiff stage;
+// the committed baseline in bench/results/ is generated in smoke mode.
+#include <unistd.h>
+
 #include "bench/bench_util.h"
+#include "localstore/local_store.h"
+#include "wal/backend.h"
+#include "wal/wal.h"
 
 using namespace orchestra;
 using namespace orchestra::bench;
 
 namespace {
+
+bool Smoke() {
+  const char* env = std::getenv("ORCHESTRA_BENCH_SMOKE");
+  return env != nullptr && std::string(env)[0] == '1';
+}
 
 double RunWithFailure(bench::Cluster& cluster, const query::PhysicalPlan& plan,
                       query::QueryOptions::RecoveryMode mode,
@@ -33,19 +54,18 @@ double RunWithFailure(bench::Cluster& cluster, const query::PhysicalPlan& plan,
   return static_cast<double>(result.execution_us) / 1e6;
 }
 
-}  // namespace
-
-int main() {
-  Header("Figure 21: restart vs incremental recovery (8 nodes)");
+void QueryRecoveryPart(JsonReport& report) {
   // Run 4x larger than the other small-scale benches: the restart/recovery
   // gap is about re-paying elapsed work, which a too-tiny query hides behind
   // fixed recovery costs (the paper's SF-2 queries run for many seconds).
-  double sf = TpchSf(2.0) * (PaperScale() ? 1.0 : 4.0);
+  // Smoke keeps the default small sizing and a single failure point.
+  double sf = TpchSf(2.0) * (PaperScale() || Smoke() ? 1.0 : 4.0);
   std::printf("# paper: SF 2, failure at varying times; recovery beat restart ~20%%\n");
   std::printf("# this run: SF %.4f\n", sf);
   std::printf("query,failure_frac,failure_time_s,restart_time_s,recovery_time_s,no_failure_time_s\n");
 
-  JsonReport report("fig21_recovery");
+  std::vector<double> fracs = Smoke() ? std::vector<double>{0.5}
+                                      : std::vector<double>{0.2, 0.5, 0.8};
   for (const std::string& q : {std::string("Q1"), std::string("Q10")}) {
     workload::TpchConfig cfg;
     cfg.scale_factor = sf;
@@ -61,7 +81,7 @@ int main() {
       base_s = base.time_s;
     }
 
-    for (double frac : {0.2, 0.5, 0.8}) {
+    for (double frac : fracs) {
       auto fail_at = static_cast<sim::SimTime>(frac * base_s * 1e6);
       // Each trial kills a node on a *healthy* cluster (the paper reruns the
       // experiment per failure point), so rebuild between modes.
@@ -88,5 +108,98 @@ int main() {
       std::fflush(stdout);
     }
   }
+}
+
+// --------------------------------------------------------------------------
+// Part two: LocalStore restart recovery through a real on-disk WAL.
+
+/// Loads `records` distinct keys through a FileBackend-backed store, makes
+/// the tail durable, then times a cold Recover() on a fresh store sharing
+/// the same files. Returns through `report` under `name`.
+void MeasureStoreRecovery(JsonReport& report, const std::string& name,
+                          const std::string& dir, size_t records,
+                          uint64_t checkpoint_every) {
+  auto backend = std::make_shared<wal::FileBackend>(dir);
+  localstore::StoreOptions o;
+  o.wal_backend = backend;
+  // The load phase is not what this bench measures: sync only on segment
+  // seal, then once explicitly at the end, so durability is real but the
+  // fill loop is not fsync-bound.
+  o.wal.sync_every_records = 0;
+  o.checkpoint_every_records = checkpoint_every;
+  std::string value(96, 'v');
+
+  double load_wall;
+  {
+    localstore::LocalStore store(o);
+    double w0 = WallSeconds();
+    char key[32];
+    for (size_t i = 0; i < records; ++i) {
+      std::snprintf(key, sizeof(key), "rec-%010zu", i);
+      if (!store.Put(key, value).ok()) {
+        std::fprintf(stderr, "load put failed\n");
+        std::exit(1);
+      }
+    }
+    store.wal()->Sync();
+    load_wall = WallSeconds() - w0;
+  }  // close the loading store before recovering into a new one
+
+  localstore::LocalStore fresh(o);
+  double w0 = WallSeconds();
+  Status rec = fresh.Recover();
+  double recover_wall = WallSeconds() - w0;
+  if (!rec.ok() || fresh.entry_count() != records) {
+    std::fprintf(stderr, "recovery failed: %s (entries %zu/%zu)\n",
+                 rec.ToString().c_str(), fresh.entry_count(), records);
+    std::exit(1);
+  }
+  const wal::WalStats& ws = fresh.wal()->stats();
+  std::printf("%s,%zu,%llu,%.4f,%.4f,%llu,%llu\n", name.c_str(), records,
+              static_cast<unsigned long long>(checkpoint_every), load_wall,
+              recover_wall, static_cast<unsigned long long>(ws.replayed_records),
+              static_cast<unsigned long long>(ws.snapshot_records));
+  report.AddTimed(
+      name, static_cast<double>(records), recover_wall, 0, 0,
+      {{"replayed_records", static_cast<double>(ws.replayed_records)},
+       {"snapshot_records", static_cast<double>(ws.snapshot_records)},
+       {"checkpoint_every", static_cast<double>(checkpoint_every)},
+       {"load_wall_s", load_wall}});
+
+  // Reset the directory for the next configuration.
+  for (const std::string& f : backend->List()) backend->Remove(f).ok();
+}
+
+void StoreRecoveryPart(JsonReport& report) {
+  std::printf("# node restart: recovery cost vs store size, checkpoints on/off\n");
+  std::printf("config,records,checkpoint_every,load_wall_s,recover_wall_s,replayed_records,snapshot_records\n");
+  char tmpl[] = "/tmp/orchestra-recovery-XXXXXX";
+  if (mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  // 100x at the full-mode base is ~400k records; with a fixed checkpoint
+  // cadence the load phase re-snapshots O(records) per checkpoint, so the
+  // base is kept small enough that the sweep stays in the low gigabytes.
+  const size_t base = Smoke() ? 1500 : 4000;
+  const uint64_t ckpt_every = Smoke() ? 1024 : 4096;
+  for (size_t mult : {size_t{1}, size_t{10}, size_t{100}}) {
+    std::string scale = std::to_string(mult) + "x";
+    MeasureStoreRecovery(report, "recover_" + scale + "_ckpt_on", tmpl,
+                         base * mult, ckpt_every);
+    MeasureStoreRecovery(report, "recover_" + scale + "_ckpt_off", tmpl,
+                         base * mult, /*checkpoint_every=*/0);
+  }
+  rmdir(tmpl);
+}
+
+}  // namespace
+
+int main() {
+  Header("Figure 21: restart vs incremental recovery (8 nodes)");
+  JsonReport report("fig21_recovery");
+  QueryRecoveryPart(report);
+  Header("Node restart recovery: checkpoint + WAL tail replay");
+  StoreRecoveryPart(report);
   return 0;
 }

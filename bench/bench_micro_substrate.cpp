@@ -137,7 +137,10 @@ void BenchLocalStore() {
   Report("localstore_prefix_scan", static_cast<double>(scanned), Now() - t0);
 
   // Churn: put/delete mix with compaction in the loop (epoch GC pressure).
-  localstore::LocalStore churn(localstore::StoreOptions{0.4, 4096});
+  localstore::StoreOptions churn_opts;
+  churn_opts.compaction_garbage_ratio = 0.4;
+  churn_opts.compaction_min_records = 4096;
+  localstore::LocalStore churn(churn_opts);
   t0 = Now();
   for (size_t i = 0; i < n_ops; ++i) {
     const std::string& k = keys[i % keys.size()];

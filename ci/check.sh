@@ -56,7 +56,7 @@ tier1() {
 sanitize() {
   echo "== sanitizer: address,undefined with leak detection"
   local suites="storage_test query_test integration_test rpc_lifecycle_test \
-    client_test churn_test localstore_test net_test"
+    client_test churn_test localstore_test net_test wal_test"
   cmake -B build-asan -S . -DORC_SANITIZE=address,undefined \
         -DORC_BUILD_BENCH=OFF -DORC_BUILD_EXAMPLES=OFF
   # shellcheck disable=SC2086
@@ -68,11 +68,14 @@ sanitize() {
 }
 
 tsan() {
-  echo "== tsan: ThreadSanitizer build + real-thread smoke suite"
+  echo "== tsan: ThreadSanitizer build + real-thread smoke suites"
   cmake -B build-tsan -S . -DORC_SANITIZE=thread \
         -DORC_BUILD_BENCH=OFF -DORC_BUILD_EXAMPLES=OFF
-  cmake --build build-tsan -j "$jobs" --target thread_smoke_test
+  cmake --build build-tsan -j "$jobs" --target thread_smoke_test wal_test
   ./build-tsan/thread_smoke_test
+  # wal_test includes the checkpoint-writer-vs-concurrent-readers smoke
+  # (WalThreads.*); the rest of the suite rides along under TSan for free.
+  ./build-tsan/wal_test
 }
 
 lint() {
@@ -129,11 +132,14 @@ bench_diff() {
   echo "== bench diff: fresh BENCH_*.json vs committed bench/results/ baselines"
   cmake -B build -S .
   cmake --build build -j "$jobs" --target bench_micro_substrate \
-        bench_sustained_churn bench_fig07_09_stb_nodes bench_pipelined_publish
+        bench_sustained_churn bench_fig07_09_stb_nodes bench_pipelined_publish \
+        bench_fig21_recovery bench_recovery_overhead
   (cd build && ORCHESTRA_BENCH_SMOKE=1 ./bench_micro_substrate > /dev/null)
   (cd build && ./bench_sustained_churn > /dev/null)
   (cd build && ./bench_fig07_09_stb_nodes > /dev/null)
   (cd build && ./bench_pipelined_publish > /dev/null)
+  (cd build && ORCHESTRA_BENCH_SMOKE=1 ./bench_fig21_recovery > /dev/null)
+  (cd build && ORCHESTRA_BENCH_SMOKE=1 ./bench_recovery_overhead > /dev/null)
   python3 - <<'PY'
 import glob, json, os, sys
 
@@ -196,6 +202,46 @@ for ref_path in sorted(glob.glob("bench/results/BENCH_*.json")):
                     "under injected overload")
         except KeyError as e:
             failures.append(f"pipelined_publish: missing entry {e}")
+    # Sustained-churn acceptance bound: incremental background GC must keep
+    # the gc_on/gc_off throughput gap <= 10% (both sides run in the same
+    # process on the same machine, so the ratio is meaningful).
+    if ref["bench"] == "sustained_churn":
+        f = fresh_entries
+        try:
+            on, off = f["sustained_overwrite_gc_on"], f["sustained_overwrite_gc_off"]
+            if on["ops_per_sec"] < 0.90 * off["ops_per_sec"]:
+                failures.append(
+                    f"sustained_churn: gc_on throughput {on['ops_per_sec']:.0f}"
+                    f" < 90% of gc_off {off['ops_per_sec']:.0f}")
+        except KeyError as e:
+            failures.append(f"sustained_churn: missing entry {e}")
+    # Recovery acceptance bounds, on the FRESH run's deterministic replay
+    # counters: with checkpoints the replay tail is bounded by the cadence
+    # (flat while the store grows 100x); without them replay is the whole log.
+    if ref["bench"] == "fig21_recovery":
+        f = fresh_entries
+        try:
+            for scale in ("1x", "10x", "100x"):
+                on = f[f"recover_{scale}_ckpt_on"]
+                off = f[f"recover_{scale}_ckpt_off"]
+                if on["replayed_records"] > on["checkpoint_every"]:
+                    failures.append(
+                        f"fig21_recovery: {scale} checkpointed replay tail "
+                        f"{on['replayed_records']:.0f} exceeds the cadence "
+                        f"{on['checkpoint_every']:.0f}")
+                if off["replayed_records"] != off["ops"]:
+                    failures.append(
+                        f"fig21_recovery: {scale} checkpoint-off replay "
+                        f"{off['replayed_records']:.0f} != full log {off['ops']:.0f}")
+            on100 = f["recover_100x_ckpt_on"]
+            off100 = f["recover_100x_ckpt_off"]
+            if on100["replayed_records"] * 20 > off100["replayed_records"]:
+                failures.append(
+                    "fig21_recovery: 100x checkpointed replay "
+                    f"{on100['replayed_records']:.0f} not sub-linear vs full "
+                    f"replay {off100['replayed_records']:.0f}")
+        except KeyError as e:
+            failures.append(f"fig21_recovery: missing entry {e}")
 if compared == 0:
     failures.append("no bench entries compared - baselines or fresh runs missing")
 if failures:

@@ -27,7 +27,8 @@ Deployment::Deployment(DeploymentOptions options)
     gossip_.push_back(std::make_unique<overlay::GossipService>(
         hosts_.back().get(), everyone, options_.seed + i, options_.gossip_interval_us));
     storage_.push_back(std::make_unique<storage::StorageService>(
-        hosts_.back().get(), board_, options_.replication, options_.store));
+        hosts_.back().get(), board_, options_.replication, StoreOptionsForNewNode(),
+        options_.gc));
     publishers_.push_back(std::make_unique<storage::Publisher>(
         storage_.back().get(), gossip_.back().get()));
     publishers_.back()->set_gc_keep_epochs(options_.gc_keep_epochs);
@@ -42,8 +43,25 @@ Deployment::Deployment(DeploymentOptions options)
 
 Deployment::~Deployment() = default;
 
+localstore::StoreOptions Deployment::StoreOptionsForNewNode() {
+  localstore::StoreOptions opts = options_.store;
+  if (options_.durable_wal && opts.wal_backend == nullptr) {
+    wal_backends_.push_back(std::make_shared<wal::MemoryBackend>());
+    opts.wal_backend = wal_backends_.back();
+  } else {
+    // Keep wal_backends_ index-aligned with hosts_ even when durability is
+    // off (or the harness injected its own backend through options_.store).
+    wal_backends_.push_back(nullptr);
+  }
+  return opts;
+}
+
 void Deployment::KillNode(net::NodeId node, bool update_routing, bool rebalance) {
   network_.KillNode(node);
+  // Model the crash at the durability layer too: un-synced WAL bytes are
+  // torn away deterministically, so the eventual RestartNode recovers only
+  // what the node had made durable.
+  if (wal_backends_[node] != nullptr) wal_backends_[node]->Crash();
   if (update_routing) {
     ring_.Leave(node);
     board_->current = ring_.TakeSnapshot();
@@ -70,7 +88,9 @@ void Deployment::RestartNode(net::NodeId node) {
   if (!ring_.IsMember(node)) ring_.Join(node, network_.NodeName(node));
   board_->current = ring_.TakeSnapshot();
 
-  // Crash-restart: the record log survived, the in-memory indexes did not.
+  // Crash-restart: only durable state survived — with durable_wal, the
+  // checkpoint plus synced WAL tail; otherwise the in-process record log.
+  // Either way the in-memory indexes are rebuilt from scratch.
   Status rec = storage_[node]->store().Recover();
   ORC_CHECK(rec.ok(), "restart recovery failed");
   storage_[node]->OnRestart();
@@ -118,7 +138,8 @@ net::NodeId Deployment::AddNode() {
   gossip_.push_back(std::make_unique<overlay::GossipService>(
       hosts_.back().get(), everyone, options_.seed + id, options_.gossip_interval_us));
   storage_.push_back(std::make_unique<storage::StorageService>(
-      hosts_.back().get(), board_, options_.replication, options_.store));
+      hosts_.back().get(), board_, options_.replication, StoreOptionsForNewNode(),
+      options_.gc));
   publishers_.push_back(std::make_unique<storage::Publisher>(
       storage_.back().get(), gossip_.back().get()));
   publishers_.back()->set_gc_keep_epochs(options_.gc_keep_epochs);

@@ -18,6 +18,7 @@
 #include "sim/simulator.h"
 #include "storage/publisher.h"
 #include "storage/service.h"
+#include "wal/backend.h"
 
 namespace orchestra::deploy {
 
@@ -42,6 +43,14 @@ struct DeploymentOptions {
   /// Per-node LocalStore tuning (compaction thresholds); harnesses lower the
   /// compaction floor so small stores still exercise the GC->compact path.
   localstore::StoreOptions store;
+  /// Durability: give every node a deterministic in-memory WAL backend
+  /// (wal::MemoryBackend). KillNode then models a real crash — unsynced WAL
+  /// bytes are torn away — and RestartNode rebuilds the store from the
+  /// newest checkpoint plus the surviving tail (docs/DURABILITY.md). Off
+  /// reverts to the seed behavior where the record log itself survives.
+  bool durable_wal = true;
+  /// Per-node incremental background GC tuning (slice budget and pacing).
+  storage::GcOptions gc;
   /// Per-node client::Session tuning: publish window (pipelining), admission
   /// control watermarks. Defaults pipeline up to 4 publishes per session.
   /// Leave `session.participant` at 0: every node's session then publishes
@@ -70,6 +79,11 @@ class Deployment {
   /// below all route through it.
   client::Session& session(size_t i) { return *sessions_[i]; }
   std::shared_ptr<storage::SnapshotBoard> board() { return board_; }
+  /// Node i's WAL backend (null when `durable_wal` is off). Harnesses use it
+  /// to inspect crash/torn-tail counters and to stage fault injection.
+  const std::shared_ptr<wal::MemoryBackend>& wal_backend(size_t i) const {
+    return wal_backends_[i];
+  }
   const overlay::RoutingSnapshot& snapshot() const { return board_->current; }
   const DeploymentOptions& options() const { return options_; }
 
@@ -130,12 +144,17 @@ class Deployment {
                                           query::QueryOptions options = {});
 
  private:
+  /// Copies options_.store and, with `durable_wal`, injects a fresh
+  /// MemoryBackend (recorded in wal_backends_) for the node being built.
+  localstore::StoreOptions StoreOptionsForNewNode();
+
   DeploymentOptions options_;
   sim::Simulator sim_;
   net::Network network_;
   overlay::Ring ring_;
   std::shared_ptr<storage::SnapshotBoard> board_;
   std::vector<std::unique_ptr<net::NodeHost>> hosts_;
+  std::vector<std::shared_ptr<wal::MemoryBackend>> wal_backends_;
   std::vector<std::unique_ptr<overlay::GossipService>> gossip_;
   std::vector<std::unique_ptr<storage::StorageService>> storage_;
   std::vector<std::unique_ptr<storage::Publisher>> publishers_;

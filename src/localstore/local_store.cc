@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <utility>
 
 #include "common/log.h"
 
@@ -376,23 +377,35 @@ std::string_view LocalStore::Iterator::value() const {
 // ---------------------------------------------------------------------------
 // Store operations
 
-LocalStore::LocalStore(StoreOptions options) : options_(options) {}
+LocalStore::LocalStore(StoreOptions options) : options_(std::move(options)) {
+  if (options_.wal_backend != nullptr) {
+    wal_ = std::make_unique<wal::Wal>(options_.wal_backend, options_.wal);
+  }
+}
 
 uint64_t LocalStore::AppendRecord(bool is_delete, std::string_view key,
-                                  std::string_view value) {
+                                  std::string_view value, bool count_stats) {
   Slot slot;
   slot.data = arena_.Append(key, value);
   slot.key_len = static_cast<uint32_t>(key.size());
   slot.value_len = static_cast<uint32_t>(value.size());
   slot.is_delete = is_delete;
   log_.push_back(slot);
-  stats_.log_records += 1;
-  stats_.log_bytes += key.size() + value.size() + 1;
+  if (count_stats) {
+    stats_.log_records += 1;
+    stats_.log_bytes += key.size() + value.size() + 1;
+  }
   return log_.size() - 1;
 }
 
 Status LocalStore::Put(std::string_view key, std::string_view value) {
   if (key.empty()) return Status::InvalidArgument("localstore: empty key");
+  if (wal_ != nullptr) {
+    // Write-ahead: the record is durable (per the sync cadence) before any
+    // in-memory index observes it.
+    ORC_RETURN_IF_ERROR(wal_->AppendPut(key, value));
+    ++appends_since_checkpoint_;
+  }
   uint64_t h = HashKey(key);
   HashMiss miss;
   size_t hidx = HashFind(h, key, &miss);
@@ -412,6 +425,7 @@ Status LocalStore::Put(std::string_view key, std::string_view value) {
   stats_.puts += 1;
   stats_.live_records = hcount_;
   MaybeCompact();
+  MaybeCheckpoint();
   return Status::OK();
 }
 
@@ -437,12 +451,17 @@ Status LocalStore::Delete(std::string_view key) {
   uint64_t h = HashKey(key);
   size_t hidx = HashFind(h, key);
   if (hidx != kNoSlot) {
+    if (wal_ != nullptr) {
+      ORC_RETURN_IF_ERROR(wal_->AppendDelete(key));
+      ++appends_since_checkpoint_;
+    }
     AppendRecord(true, key, {});
     live_[htable_[hidx].idx1 - 1] = kDeadPos;  // the tree skips dead slots
     HashEraseAt(hidx);
     stats_.deletes += 1;
     stats_.live_records = hcount_;
     MaybeCompact();
+    MaybeCheckpoint();
   }
   return Status::OK();
 }
@@ -479,7 +498,68 @@ void LocalStore::IndexLiveRecord(uint64_t pos) {
   HashInsert(HashKey(key), live_idx);
 }
 
+void LocalStore::ReplayPut(std::string_view key, std::string_view value) {
+  uint64_t h = HashKey(key);
+  HashMiss miss;
+  size_t hidx = HashFind(h, key, &miss);
+  uint64_t pos = AppendRecord(false, key, value, /*count_stats=*/false);
+  if (hidx != kNoSlot) {
+    live_[htable_[hidx].idx1 - 1] = pos;
+  } else {
+    live_.push_back(pos);
+    auto live_idx = static_cast<uint32_t>(live_.size() - 1);
+    TreeInsert(log_[pos].key(), live_idx);
+    if (HashGrowIfNeeded()) {
+      HashInsert(h, live_idx);
+    } else {
+      HashInsertAt(miss, h, live_idx);
+    }
+  }
+}
+
+void LocalStore::ReplayDelete(std::string_view key) {
+  size_t hidx = HashFind(HashKey(key), key);
+  if (hidx == kNoSlot) return;  // deleting a key the checkpoint already folded
+  live_[htable_[hidx].idx1 - 1] = kDeadPos;
+  HashEraseAt(hidx);
+}
+
 Status LocalStore::Recover() {
+  if (wal_ == nullptr) return RecoverFromMemoryLog();
+
+  // Crash-restart: every in-memory structure is gone; the WAL's checkpoint
+  // manifest plus the segments past it are the sole source of truth.
+  // Checkpoint entries arrive sorted and unique (fast sorted-index path);
+  // tail records replay through the general overwrite/delete path.
+  arena_ = Arena();
+  log_.clear();
+  TreeClear();
+  htable_.clear();
+  hcount_ = 0;
+  live_.clear();
+
+  uint64_t tail_records = 0;
+  Status st = wal_->Recover([&](wal::RecordType type, std::string_view key,
+                                std::string_view value, bool from_checkpoint) {
+    if (from_checkpoint) {
+      IndexLiveRecord(AppendRecord(false, key, value, /*count_stats=*/false));
+      return;
+    }
+    ++tail_records;
+    if (type == wal::RecordType::kDelete) {
+      ReplayDelete(key);
+    } else {
+      ReplayPut(key, value);
+    }
+  });
+  stats_.replayed_records += tail_records;
+  stats_.live_records = hcount_;
+  stats_.segments_retired = wal_->stats().segments_retired;
+  appends_since_checkpoint_ = tail_records;
+  return st;
+}
+
+Status LocalStore::RecoverFromMemoryLog() {
   // Replay the log into a key -> position map (views into the live arena).
   std::map<std::string_view, uint64_t> rebuilt;
   for (uint64_t pos = 0; pos < log_.size(); ++pos) {
@@ -521,9 +601,33 @@ Status LocalStore::Recover() {
 
 void LocalStore::MaybeCompact() {
   if (log_.size() < options_.compaction_min_records) return;
-  double garbage =
-      1.0 - static_cast<double>(hcount_) / static_cast<double>(log_.size());
-  if (garbage > options_.compaction_garbage_ratio) Compact();
+  if (garbage_ratio() > options_.compaction_garbage_ratio) Compact();
+}
+
+Status LocalStore::Checkpoint() {
+  if (wal_ == nullptr) return Status::OK();
+  auto it = Seek("");
+  Status st = wal_->WriteCheckpoint(
+      [&](std::string_view* key, std::string_view* value) {
+        if (!it.Valid()) return false;
+        *key = it.key();
+        *value = it.value();
+        it.Next();
+        return true;
+      });
+  // Reset the cadence either way: a failed publish (injected crash window)
+  // must not retry on the very next Put — recovery handles it.
+  appends_since_checkpoint_ = 0;
+  if (!st.ok()) return st;
+  stats_.checkpoints += 1;
+  stats_.segments_retired = wal_->stats().segments_retired;
+  return st;
+}
+
+void LocalStore::MaybeCheckpoint() {
+  if (wal_ == nullptr || options_.checkpoint_every_records == 0) return;
+  if (appends_since_checkpoint_ < options_.checkpoint_every_records) return;
+  Checkpoint().ok();  // an injected publish failure is surfaced via stats
 }
 
 void LocalStore::Compact() {

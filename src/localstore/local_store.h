@@ -37,6 +37,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "wal/wal.h"
 
 namespace orchestra::localstore {
 
@@ -48,10 +49,19 @@ struct StoreStats {
   /// plain — writes are single-threaded by contract.
   std::atomic<uint64_t> gets{0};
   uint64_t deletes = 0;
-  uint64_t log_records = 0;       // total records ever appended
-  uint64_t log_bytes = 0;         // total bytes ever appended
+  /// Records/bytes appended by MUTATIONS (Put/Delete) only. Recovery replay
+  /// re-materializes records into a fresh log without re-counting them here,
+  /// so the cumulative write volume stays truthful across restarts and
+  /// checkpoint-retired WAL segments are never double-counted.
+  uint64_t log_records = 0;
+  uint64_t log_bytes = 0;
   uint64_t live_records = 0;      // records reachable from the index
   uint64_t compactions = 0;
+  // --- Durability (all zero when no WAL backend is attached) --------------
+  uint64_t checkpoints = 0;        // manifests successfully published
+  uint64_t segments_retired = 0;   // sealed WAL segments deleted
+  uint64_t replayed_records = 0;   // post-checkpoint tail records replayed
+                                   // by Recover(), summed across restarts
 };
 
 struct StoreOptions {
@@ -59,6 +69,16 @@ struct StoreOptions {
   double compaction_garbage_ratio = 0.5;
   /// Do not compact below this many records.
   uint64_t compaction_min_records = 4096;
+  /// Durability: when set, every mutation is framed into a segmented WAL on
+  /// this backend and Recover() rebuilds from the newest checkpoint plus the
+  /// tail segments past it. Null keeps the in-memory-only behavior (unit
+  /// tests; Recover() then replays the in-memory log as a drill).
+  std::shared_ptr<wal::Backend> wal_backend;
+  /// WAL tuning (segment size, sync cadence); used only with wal_backend.
+  wal::WalOptions wal;
+  /// Publish a checkpoint after this many WAL appends since the last one
+  /// (0 = only explicit Checkpoint() calls). Bounds the replay tail.
+  uint64_t checkpoint_every_records = 8192;
 };
 
 class LocalStore {
@@ -148,22 +168,41 @@ class LocalStore {
   static std::string PrefixUpperBound(std::string_view prefix);
 
   size_t entry_count() const { return hcount_; }
-  /// Records currently in the log, live + dead (shrinks on compaction).
+  /// Records currently in the log, live + dead. Shrinks on compaction and on
+  /// a checkpointed recovery (retired WAL segments drop out entirely), so it
+  /// is the CURRENT footprint, never the cumulative write volume.
   size_t log_size() const { return log_.size(); }
   const StoreStats& stats() const { return stats_; }
   /// Bytes currently held by the record arena (live + garbage).
   size_t arena_bytes() const { return arena_.bytes(); }
-  /// Fraction of log records that are dead (superseded or deleted); the churn
-  /// harness asserts this stays below the compaction threshold plus slack.
-  double dead_fraction() const {
+  /// Fraction of the CURRENT log that is dead (superseded or deleted) — the
+  /// compaction trigger's input. Computed over log_size(), which excludes
+  /// records reclaimed by compaction and WAL segments retired by
+  /// checkpoints, so already-reclaimed space never re-counts as garbage.
+  double garbage_ratio() const {
     return log_.empty()
                ? 0.0
                : 1.0 - static_cast<double>(hcount_) / static_cast<double>(log_.size());
   }
+  /// Alias of garbage_ratio(); the churn harness asserts this stays below
+  /// the compaction threshold plus slack.
+  double dead_fraction() const { return garbage_ratio(); }
 
-  /// Discards the indexes and rebuilds them by replaying the log. Verifies
-  /// the log-structured invariant; exposed for tests and failure drills.
+  /// Crash-recovery entry point. With a WAL backend attached: discards ALL
+  /// in-memory state and rebuilds from the newest checkpoint manifest plus a
+  /// replay of only the segments past it (tail-only replay; cost is bounded
+  /// by checkpoint_every_records, not store size). Without a WAL: discards
+  /// the indexes and rebuilds them by replaying the in-memory log, verifying
+  /// the log-structured invariant (a failure drill for tests).
   Status Recover();
+
+  /// Publishes a WAL checkpoint now (no-op without a WAL backend): dense
+  /// snapshot manifest + retirement of all sealed segments below it.
+  Status Checkpoint();
+
+  /// The attached WAL, or null. Exposed for stats and the churn harness's
+  /// crash-timing fault hooks.
+  wal::Wal* wal() { return wal_.get(); }
 
   /// Forces a compaction pass regardless of the garbage ratio.
   void Compact();
@@ -211,8 +250,10 @@ class LocalStore {
 
   static constexpr size_t kNoSlot = static_cast<size_t>(-1);
 
+  /// `count_stats` is false on the recovery paths: replayed records land in
+  /// the fresh log but must not inflate the cumulative write counters.
   uint64_t AppendRecord(bool is_delete, std::string_view key,
-                        std::string_view value);
+                        std::string_view value, bool count_stats = true);
 
   /// Slot of `key`, or kNoSlot. When absent and `miss` is non-null, the
   /// probe's stopping point is recorded so HashInsertAt can continue the
@@ -249,6 +290,13 @@ class LocalStore {
   void IndexLiveRecord(uint64_t pos);
 
   void MaybeCompact();
+  void MaybeCheckpoint();
+  /// Recovery-replay mutations: like Put/Delete but without WAL echo,
+  /// compaction/checkpoint triggers, or cumulative stats counting.
+  void ReplayPut(std::string_view key, std::string_view value);
+  void ReplayDelete(std::string_view key);
+  /// In-memory-only rebuild (the seed behavior; used when wal_ is null).
+  Status RecoverFromMemoryLog();
 
   StoreOptions options_;
   Arena arena_;
@@ -268,6 +316,10 @@ class LocalStore {
 
   std::vector<HashSlot> htable_;
   size_t hcount_ = 0;  // == number of live keys
+
+  // Durability: present iff StoreOptions::wal_backend was set.
+  std::unique_ptr<wal::Wal> wal_;
+  uint64_t appends_since_checkpoint_ = 0;
 
   // Mutable so read methods can count reads without a const_cast.
   mutable StoreStats stats_;

@@ -27,12 +27,14 @@ Status KeyFilter::DecodeFrom(Reader* r, KeyFilter* out) {
 
 StorageService::StorageService(net::NodeHost* host,
                                std::shared_ptr<SnapshotBoard> board, int replication,
-                               localstore::StoreOptions store_options)
+                               localstore::StoreOptions store_options,
+                               GcOptions gc_options)
     : host_(host),
       board_(std::move(board)),
       replication_(replication),
       rpc_(host, net::ServiceId::kStorage, kReply),
-      store_(store_options) {
+      store_(store_options),
+      gc_options_(gc_options) {
   host_->Register(net::ServiceId::kStorage, this);
   // Every reply this node receives carries the responder's load hint; keep a
   // timestamped per-peer view for the session's admission control.
@@ -583,7 +585,7 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       for (const auto& [p, m] : pushed_marks) MergeParticipantMark(p, m);
       Epoch effective = EffectiveParticipantWatermark();
       if (effective > gc_watermark_) gc_watermark_ = effective;
-      if (n > 0 && gc_watermark_ > 0) RetireBelowWatermark();
+      if (n > 0 && gc_watermark_ > 0) ScheduleGcSweep();
       Respond(from, req_id, Status::OK(), {});
       return;
     }
@@ -1111,6 +1113,15 @@ void StorageService::RebalanceTo(const overlay::RoutingSnapshot& snap) {
 void StorageService::SetGcWatermark(Epoch w) {
   if (w < gc_watermark_ || w == 0) return;  // monotonic; 0 disables
   gc_watermark_ = w;
+  // The direct entry point is synchronous: callers (tests, harness nudges)
+  // expect retirement to have happened on return. Any background sweep in
+  // flight is now redundant — cancel it rather than let its stale slices
+  // rescan what this full sweep just covered.
+  if (gc_sweep_.active) {
+    gc_sweep_.active = false;
+    gc_sweep_.rearm = false;
+    gc_sweep_.generation += 1;
+  }
   RetireBelowWatermark();
 }
 
@@ -1145,7 +1156,13 @@ void StorageService::MergeParticipantMark(ParticipantId p, Epoch mark) {
 void StorageService::SetParticipantWatermark(ParticipantId p, Epoch mark) {
   MergeParticipantMark(p, mark);
   Epoch effective = EffectiveParticipantWatermark();
-  if (effective > 0) SetGcWatermark(effective);
+  if (effective == 0 || effective < gc_watermark_) return;
+  // Advertisements raise the floor immediately (watermark reads must see the
+  // new mark) but retire in the background: each publish used to pay a
+  // synchronous full-store sweep here, which is where the steady-state GC
+  // throughput tax came from.
+  gc_watermark_ = effective;
+  ScheduleGcSweep();
 }
 
 void StorageService::RetireBelowWatermark() {
@@ -1261,6 +1278,154 @@ void StorageService::RetireBelowWatermark() {
   gc_.retired_claims += n_claims;
 }
 
+// --------------------------------------------------------------------------
+// Incremental background GC
+
+void StorageService::ScheduleGcSweep() {
+  if (gc_watermark_ == 0) return;
+  if (gc_sweep_.active) {
+    // A sweep is in flight: fold this advertisement into it. The running
+    // sweep keeps its pinned (older) watermark; on completion it restarts at
+    // the latest one, which also re-covers anything a stale replica push
+    // resurrected behind the cursor.
+    gc_sweep_.rearm = true;
+    gc_.coalesced += 1;
+    return;
+  }
+  gc_sweep_.active = true;
+  gc_sweep_.rearm = false;
+  gc_sweep_.generation += 1;
+  gc_sweep_.watermark = gc_watermark_;
+  gc_sweep_.phase = 0;
+  gc_sweep_.resume = keys::TagPrefix(keys::kCoordTag);
+  gc_sweep_.group.clear();
+  gc_sweep_.best_key.clear();
+  gc_sweep_.best_is_tombstone = false;
+  const uint64_t gen = gc_sweep_.generation;
+  RunAfter(gc_options_.slice_interval_us, [this, gen] { GcSliceTask(gen); });
+}
+
+void StorageService::GcSliceTask(uint64_t generation) {
+  if (!gc_sweep_.active || generation != gc_sweep_.generation) return;
+  if (!RunGcSlice(gc_options_.slice_records)) {
+    RunAfter(gc_options_.slice_interval_us,
+             [this, generation] { GcSliceTask(generation); });
+    return;
+  }
+  gc_sweep_.active = false;
+  gc_.runs += 1;
+  if (gc_sweep_.rearm) ScheduleGcSweep();
+}
+
+bool StorageService::RunGcSlice(uint64_t budget) {
+  static constexpr char kPhaseTags[4] = {keys::kCoordTag, keys::kClaimTag,
+                                         keys::kPageTag, keys::kDataTag};
+  const Epoch w = gc_sweep_.watermark;
+  std::vector<std::string> doomed;
+  uint64_t scanned = 0;
+  uint64_t n_coords = 0, n_pages = 0, n_data = 0, n_tombs = 0, n_claims = 0;
+
+  // Reaps the tracked survivor if it is a trailing tombstone, then clears
+  // the version-group carry — the sliced twin of the synchronous sweep's
+  // flush_group (see RetireBelowWatermark for the retention argument).
+  auto flush_group = [&] {
+    if (gc_sweep_.best_is_tombstone && !gc_sweep_.best_key.empty()) {
+      doomed.push_back(gc_sweep_.best_key);
+      ++n_tombs;
+    }
+    gc_sweep_.best_key.clear();
+    gc_sweep_.best_is_tombstone = false;
+  };
+
+  while (gc_sweep_.phase < 4 && scanned < budget) {
+    const int phase = gc_sweep_.phase;
+    const std::string prefix = keys::TagPrefix(kPhaseTags[phase]);
+    bool exhausted = true;
+    for (auto it = store_.Seek(gc_sweep_.resume);
+         localstore::LocalStore::WithinPrefix(it, prefix); it.Next()) {
+      if (scanned >= budget) {
+        // Stop BEFORE consuming this record; the next slice re-seeks to it.
+        // Records a push inserts behind the cursor are caught by the re-arm
+        // sweep, exactly like ones behind a completed synchronous sweep.
+        gc_sweep_.resume.assign(it.key());
+        exhausted = false;
+        break;
+      }
+      ++scanned;
+      std::string_view key = it.key();
+      switch (phase) {
+        case 0: {
+          keys::ParsedCoordKey ck;
+          if (keys::ParseCoord(key, &ck) && ck.epoch < w) {
+            doomed.emplace_back(key);
+            ++n_coords;
+          }
+          break;
+        }
+        case 1: {
+          Epoch e = 0;
+          if (keys::ParseClaim(key, &e) && e < w) {
+            doomed.emplace_back(key);
+            ++n_claims;
+          }
+          break;
+        }
+        default: {
+          Epoch epoch = 0;
+          bool parsed = false;
+          if (phase == 2) {
+            keys::ParsedPageKey pk;
+            parsed = keys::ParsePageRec(key, &pk);
+            if (parsed) epoch = pk.epoch;
+          } else {
+            keys::ParsedDataKey dk;
+            parsed = keys::ParseData(key, &dk);
+            if (parsed) epoch = dk.epoch;
+          }
+          if (!parsed) break;  // malformed: leave it alone
+          std::string_view group = keys::VersionGroupPrefix(key);
+          if (group != gc_sweep_.group) {
+            flush_group();
+            gc_sweep_.group.assign(group);
+          }
+          if (epoch > w) break;
+          if (!gc_sweep_.best_key.empty()) {
+            doomed.push_back(gc_sweep_.best_key);
+            if (gc_sweep_.best_is_tombstone) {
+              ++n_tombs;
+            } else {
+              ++(phase == 2 ? n_pages : n_data);
+            }
+          }
+          gc_sweep_.best_key.assign(key);
+          // Only data-family tombstones (empty value) are reaped once
+          // trailing; pages have no tombstone notion.
+          gc_sweep_.best_is_tombstone = phase == 3 && it.value().empty();
+          break;
+        }
+      }
+    }
+    if (!exhausted) break;
+    if (phase >= 2) flush_group();
+    gc_sweep_.phase += 1;
+    gc_sweep_.group.clear();
+    if (gc_sweep_.phase < 4) {
+      gc_sweep_.resume = keys::TagPrefix(kPhaseTags[gc_sweep_.phase]);
+    }
+  }
+
+  for (const std::string& key : doomed) store_.Delete(key).ok();
+  ChargeCpu(host_->network()->costs().tuple_scan_us *
+            static_cast<double>(scanned + doomed.size()));
+  gc_.slices += 1;
+  gc_.retired_coords += n_coords;
+  gc_.retired_pages += n_pages;
+  gc_.retired_data += n_data;
+  gc_.retired_tombstones += n_tombs;
+  gc_.retired_claims += n_claims;
+  return gc_sweep_.phase >= 4;
+}
+
 void StorageService::OnRestart() {
   // The store is durable across a crash; the epoch high-mark is not. Rebuild
   // it from the surviving CONFIRMED epoch claims (coordinator records alone
@@ -1282,6 +1447,11 @@ void StorageService::OnRestart() {
   // Per-participant marks are transient too; re-learned from advertisements
   // and the replica-push piggyback table.
   participant_marks_.clear();
+  // Any background sweep died with the node (its slice tasks were dropped as
+  // node tasks); reset the cursor so the next advertisement starts fresh.
+  gc_sweep_.active = false;
+  gc_sweep_.rearm = false;
+  gc_sweep_.generation += 1;
 }
 
 }  // namespace orchestra::storage

@@ -104,6 +104,22 @@ struct KeyFilter {
   static Status DecodeFrom(Reader* r, KeyFilter* out);
 };
 
+/// Incremental background GC tuning. Watermark advertisements (the
+/// publisher's kSetWatermark one-ways, replica-push piggybacks) do not run a
+/// synchronous full-store sweep any more; they schedule a background sweep
+/// that retires records in bounded slices on the node's own timeline, so a
+/// burst of per-publish advertisements coalesces into one sweep instead of
+/// one full scan each. SetGcWatermark — the direct floor-raise entry point —
+/// stays synchronous for tests and harnesses.
+struct GcOptions {
+  /// Records examined (scanned plus deleted) per slice before yielding the
+  /// simulated CPU back to the request path.
+  uint64_t slice_records = 2048;
+  /// Delay before the first slice and between slices; the leading delay is
+  /// what coalesces an advertisement burst into a single sweep.
+  sim::SimTime slice_interval_us = 20 * sim::kMicrosPerMilli;
+};
+
 class StorageService : public net::Service {
  public:
   using RpcCallback = std::function<void(Status, const std::string& body)>;
@@ -111,7 +127,8 @@ class StorageService : public net::Service {
       std::function<void(Status, std::vector<Tuple>)>;
 
   StorageService(net::NodeHost* host, std::shared_ptr<SnapshotBoard> board,
-                 int replication, localstore::StoreOptions store_options = {});
+                 int replication, localstore::StoreOptions store_options = {},
+                 GcOptions gc_options = {});
 
   net::NodeId node() const { return host_->node(); }
   int replication() const { return replication_; }
@@ -244,7 +261,10 @@ class StorageService : public net::Service {
   void OnRestart();
 
   struct GcStats {
-    uint64_t runs = 0;
+    uint64_t runs = 0;                // completed sweeps (sync or background)
+    uint64_t slices = 0;              // background slices executed
+    uint64_t coalesced = 0;           // advertisements folded into a sweep
+                                      // already in flight (re-armed it)
     uint64_t retired_data = 0;        // superseded tuple versions
     uint64_t retired_pages = 0;       // superseded page versions
     uint64_t retired_coords = 0;      // coordinator records below watermark
@@ -252,6 +272,8 @@ class StorageService : public net::Service {
     uint64_t retired_claims = 0;      // epoch claims below watermark
   };
   const GcStats& gc_stats() const { return gc_; }
+  /// True while a background retirement sweep is in flight (or re-armed).
+  bool gc_sweep_active() const { return gc_sweep_.active; }
 
   // --- net::Service ----------------------------------------------------------
   void OnMessage(net::NodeId from, uint16_t code, const std::string& payload) override;
@@ -309,6 +331,17 @@ class StorageService : public net::Service {
 
   void Respond(net::NodeId to, uint64_t req_id, Status st, std::string body);
   void RetireBelowWatermark();
+  /// Background GC: starts a sliced sweep at the current watermark, or
+  /// re-arms the one in flight (it finishes, then restarts at the latest
+  /// watermark — which also preserves the "re-advertising clears records a
+  /// stale replica push resurrected" property of the synchronous sweep).
+  void ScheduleGcSweep();
+  /// One scheduled slice; `generation` guards against slices queued by a
+  /// sweep that was since cancelled (restart, synchronous override).
+  void GcSliceTask(uint64_t generation);
+  /// Retires up to `budget` records' worth of sweep work; true when the
+  /// sweep has covered all four key families.
+  bool RunGcSlice(uint64_t budget);
   /// Records a participant's advertised mark (monotonic, TTL-pruned)
   /// WITHOUT applying the effective watermark — bulk callers (replica push)
   /// merge everything first and sweep once.
@@ -338,6 +371,22 @@ class StorageService : public net::Service {
   Epoch max_epoch_seen_ = 0;
   Epoch gc_watermark_ = 0;
   GcStats gc_;
+  GcOptions gc_options_;
+  // Background sweep cursor. The watermark is pinned per sweep (retiring
+  // below an older mark is always safe); phases cover the four swept key
+  // families in tag order: 0 coordinators, 1 claims, 2 pages, 3 data.
+  struct GcSweep {
+    bool active = false;
+    bool rearm = false;
+    uint64_t generation = 0;
+    Epoch watermark = 0;
+    int phase = 0;
+    std::string resume;       // lower bound of the next slice's Seek
+    std::string group;        // version-group carry (phases 2 and 3)
+    std::string best_key;     // newest version <= watermark in `group`
+    bool best_is_tombstone = false;
+  };
+  GcSweep gc_sweep_;
   // Admission control: latest load hint per peer (timestamped so stale
   // reports age out) and the synthetic test component of our own hint.
   struct PeerLoad {

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "deploy/deployment.h"
 #include "storage/publisher.h"
+#include "wal/wal.h"
 
 namespace orchestra::churn {
 namespace {
@@ -51,6 +52,8 @@ struct Driver {
     dopts.seed = o.seed;
     dopts.gc_keep_epochs = o.gc_keep_epochs;
     dopts.store.compaction_min_records = o.compaction_min_records;
+    dopts.store.wal.sync_every_records = o.wal_sync_every;
+    dopts.store.checkpoint_every_records = o.wal_checkpoint_every;
     dep = std::make_unique<deploy::Deployment>(dopts);
     dep->network().SeedFaults(rng.Fork(3).NextU64());
   }
@@ -378,6 +381,26 @@ struct Driver {
     if (fault_rng.NextDouble() >= opts.kill_prob) return;
     if (dead.size() + hung.size() >= opts.max_dead) return;
     net::NodeId victim = RandomLive(fault_rng);
+    // Crash-point arming happens NOW (not inside the kill lambda): the
+    // victim's very next checkpoint publish / segment seal during the round
+    // trips the hook, so the scheduled crash lands on a store whose WAL is in
+    // the half-finished state the hook models. The `prob > 0 &&` short-
+    // circuits keep default-0 runs from drawing fault_rng at all, preserving
+    // the byte-identical traces of seeds recorded before these knobs existed.
+    if (opts.crash_mid_checkpoint_prob > 0 &&
+        fault_rng.NextDouble() < opts.crash_mid_checkpoint_prob) {
+      if (wal::Wal* w = dep->storage(victim).store().wal()) {
+        w->FailNextCheckpointPublish();
+        Trace("arm-ckpt-fail node=%u", victim);
+      }
+    }
+    if (opts.crash_mid_seal_prob > 0 &&
+        fault_rng.NextDouble() < opts.crash_mid_seal_prob) {
+      if (wal::Wal* w = dep->storage(victim).store().wal()) {
+        w->SkipNextSealSync();
+        Trace("arm-seal-skip node=%u", victim);
+      }
+    }
     sim::SimTime delay = static_cast<sim::SimTime>(
         fault_rng.Uniform(3 * sim::kMicrosPerSec));  // lands mid-publish
     dep->sim().ScheduleAfter(delay, [this, victim] {
@@ -404,6 +427,21 @@ struct Driver {
     });
   }
 
+  /// One trace line per restart with the node's cumulative WAL recovery
+  /// counters (replayed tail records, snapshot records, torn tails/bytes).
+  /// Cumulative is deliberate: the line both documents what this recovery
+  /// cost and folds every prior crash into the digest-checked trace.
+  void TraceRecovery(net::NodeId n) {
+    wal::Wal* w = dep->storage(n).store().wal();
+    if (w == nullptr) return;
+    const wal::WalStats& s = w->stats();
+    Trace("recover node=%u replayed=%llu snap=%llu torn=%llu torn_bytes=%llu",
+          n, static_cast<unsigned long long>(s.replayed_records),
+          static_cast<unsigned long long>(s.snapshot_records),
+          static_cast<unsigned long long>(s.torn_tails),
+          static_cast<unsigned long long>(s.torn_bytes));
+  }
+
   void MaybeRestartDead() {
     for (auto it = dead.begin(); it != dead.end();) {
       if (fault_rng.NextDouble() < opts.restart_prob) {
@@ -412,6 +450,7 @@ struct Driver {
         dep->RestartNode(n);
         report.restarts += 1;
         Trace("restart node=%u", n);
+        TraceRecovery(n);
       } else {
         ++it;
       }
@@ -480,6 +519,7 @@ struct Driver {
       dep->RestartNode(n);
       report.restarts += 1;
       Trace("restart node=%u (repair)", n);
+      TraceRecovery(n);
     }
     RebalanceAll();
     Settle();
@@ -741,6 +781,13 @@ struct Driver {
       report.epoch_conflicts += ps.epoch_conflicts;
       report.rebases += ps.rebases + ps.chain_rebases;
       report.coordinator_conflicts += dep->storage(i).counters().coordinator_conflicts;
+      if (wal::Wal* w = dep->storage(i).store().wal()) {
+        const wal::WalStats& ws = w->stats();
+        report.wal_replayed_records += ws.replayed_records;
+        report.wal_torn_tails += ws.torn_tails;
+        report.wal_torn_bytes += ws.torn_bytes;
+        report.wal_checkpoints += ws.checkpoints;
+      }
     }
     report.faults_dropped = dep->network().fault_counters().dropped;
     report.faults_delayed = dep->network().fault_counters().delayed;

@@ -118,6 +118,22 @@ struct ChurnOptions {
 
   // Also retrieve at one retained historical epoch per check.
   bool verify_history = true;
+
+  // Durability (deployment runs with durable_wal; each node's WAL lives on a
+  // deterministic in-memory backend). `wal_sync_every` / `checkpoint_every`
+  // feed straight into the per-node StoreOptions: sync_every 1 makes every
+  // record durable before it is acked (a crash tears nothing), 0 leaves the
+  // whole tail unsynced so KillNode genuinely loses suffixes.
+  uint64_t wal_sync_every = 1;
+  uint64_t wal_checkpoint_every = 2048;
+  // Crash-point fault injection: when a kill is scheduled, also arm (with
+  // these probabilities) the victim's WAL fault hooks so the crash lands
+  // mid-checkpoint-publish (MANIFEST.tmp written, rename skipped) or
+  // mid-segment-seal (sealed segment left unsynced, so the crash tears it).
+  // 0 draws nothing from the fault RNG, preserving seed traces of runs that
+  // predate these knobs.
+  double crash_mid_checkpoint_prob = 0.0;
+  double crash_mid_seal_prob = 0.0;
 };
 
 struct ChurnReport {
@@ -153,6 +169,12 @@ struct ChurnReport {
   uint64_t max_live_records = 0;   // worst cluster-wide live record count
   uint64_t live_record_bound = 0;  // the bound asserted against
   uint64_t gc_retired_total = 0;   // records retired by GC across the run
+
+  // Durability observations (summed over all nodes at the end of the run).
+  uint64_t wal_replayed_records = 0;  // tail records replayed across restarts
+  uint64_t wal_torn_tails = 0;        // crash-torn segment tails truncated
+  uint64_t wal_torn_bytes = 0;        // bytes discarded by those truncations
+  uint64_t wal_checkpoints = 0;       // checkpoints published across the run
 
   // Fault accounting + determinism fingerprint.
   uint64_t faults_dropped = 0;

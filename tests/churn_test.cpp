@@ -193,6 +193,46 @@ TEST(Churn, SameSeedReplaysIdenticalTrace) {
   EXPECT_EQ(a.trace, b.trace);
 }
 
+// Durability determinism: crashes that land mid-checkpoint-publish and
+// mid-segment-seal, on nodes whose WAL tail is entirely unsynced
+// (wal_sync_every = 0), must still replay byte-identically — torn-tail
+// truncation is deterministic, and recovery trace lines (replayed/snapshot/
+// torn counters) are part of the digest-checked trace. Model equivalence at
+// every convergence point doubles as the proof that a node recovering from a
+// checkpoint plus a truncated tail is healed by re-replication.
+TEST(Churn, DurabilityCrashPointsReplayIdenticalTrace) {
+  ChurnOptions opts;
+  opts.seed = 2026;
+  opts.rounds = 30;
+  opts.check_every = 10;
+  opts.kill_prob = 0.25;
+  opts.wal_sync_every = 0;        // crashes genuinely tear the WAL tail
+  opts.wal_checkpoint_every = 96; // several checkpoints per run at this scale
+  opts.crash_mid_checkpoint_prob = 0.5;
+  opts.crash_mid_seal_prob = 0.5;
+  ChurnReport a = RunChurn(opts);
+  ChurnReport b = RunChurn(opts);
+  ASSERT_TRUE(a.ok) << a.failure << "\ntrace tail:\n"
+                    << a.trace.substr(a.trace.size() > 2000
+                                          ? a.trace.size() - 2000
+                                          : 0);
+  ASSERT_TRUE(b.ok) << b.failure;
+  // The faults actually fired: nodes died, came back, and recovered through
+  // the checkpoint + tail-replay path.
+  EXPECT_GT(a.kills, 0u);
+  EXPECT_GT(a.restarts, 0u);
+  EXPECT_GT(a.wal_checkpoints, 0u);
+  EXPECT_GT(a.wal_replayed_records, 0u);
+  // Same seed => byte-identical trace (which embeds the recover lines) and
+  // equal durability counters.
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.wal_replayed_records, b.wal_replayed_records);
+  EXPECT_EQ(a.wal_torn_tails, b.wal_torn_tails);
+  EXPECT_EQ(a.wal_torn_bytes, b.wal_torn_bytes);
+  EXPECT_EQ(a.wal_checkpoints, b.wal_checkpoints);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
 TEST(Churn, DifferentSeedsDiverge) {
   ChurnOptions a_opts, b_opts;
   a_opts.seed = 101;

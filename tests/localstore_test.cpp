@@ -203,7 +203,10 @@ TEST(LocalStore, StatsReadCountingOnConstStore) {
 class LocalStoreProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(LocalStoreProperty, EquivalentToModelUnderChurn) {
-  LocalStore store(StoreOptions{0.25, 128});
+  StoreOptions opts;
+  opts.compaction_garbage_ratio = 0.25;
+  opts.compaction_min_records = 128;
+  LocalStore store(opts);
   std::map<std::string, std::string> model;
   Rng rng(GetParam() * 7919 + 13);
   const std::vector<std::string> prefixes = {"D/r1/", "D/r2/", "P/", "C/", ""};
@@ -274,7 +277,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, LocalStoreProperty, ::testing::Values(1, 2, 3, 4
 class LocalStoreFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(LocalStoreFuzz, MatchesStdMapModel) {
-  LocalStore store(StoreOptions{0.3, 256});
+  StoreOptions opts;
+  opts.compaction_garbage_ratio = 0.3;
+  opts.compaction_min_records = 256;
+  LocalStore store(opts);
   std::map<std::string, std::string> model;
   Rng rng(GetParam());
   for (int op = 0; op < 5000; ++op) {

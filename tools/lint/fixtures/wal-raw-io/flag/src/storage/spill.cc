@@ -1,0 +1,13 @@
+// Must-flag fixture: raw file I/O in a non-WAL layer. Durability bytes that
+// bypass wal::Backend are invisible to the deterministic MemoryBackend and
+// to the crash model.
+#include <fstream>
+
+namespace orchestra::storage {
+
+void SpillDebugState(const char* path) {
+  std::ofstream out(path);
+  out << "state\n";
+}
+
+}  // namespace orchestra::storage

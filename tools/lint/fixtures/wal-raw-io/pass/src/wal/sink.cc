@@ -1,0 +1,14 @@
+// Must-pass fixture: src/wal/ is the sanctioned home for raw file I/O (the
+// FileBackend); the rule's exclude covers this whole directory.
+#include <cstdio>
+
+namespace orchestra::wal {
+
+bool TouchSegmentFile(const char* path) {
+  std::FILE* f = std::fopen(path, "ab");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace orchestra::wal

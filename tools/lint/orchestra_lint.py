@@ -41,7 +41,8 @@ _LAYER_DEPS = {
     "common": [],
     "hash": ["common"],
     "sim": ["common"],
-    "localstore": ["common"],
+    "wal": ["common"],
+    "localstore": ["common", "wal"],
     "net": ["sim", "hash"],
     "overlay": ["net"],
     "storage": ["localstore", "overlay"],
@@ -258,6 +259,15 @@ RULES.append(regex_rule(
     scope=["src/"], exclude=["src/net/"]))
 
 # --- Hygiene ---------------------------------------------------------------
+
+RULES.append(regex_rule(
+    "wal-raw-io",
+    r"\bf?open(at|dir)?\s*\(|\bfreopen\s*\(|\bcreat\s*\("
+    r"|\bstd::(basic_)?[io]?fstream\b|\bstd::filesystem\b",
+    "raw file I/O outside src/wal/: durability goes through wal::Backend so "
+    "the simulator stays deterministic (MemoryBackend) and crash/torn-tail "
+    "semantics are modeled in exactly one place",
+    scope=["src/"], exclude=["src/wal/"]))
 
 RULES.append(regex_rule(
     "hygiene-banned-fn",
