@@ -16,6 +16,7 @@ const char* CodeName(Status::Code c) {
     case Status::Code::kNotSupported: return "NotSupported";
     case Status::Code::kFailedPrecondition: return "FailedPrecondition";
     case Status::Code::kEpochTaken: return "EpochTaken";
+    case Status::Code::kFenced: return "Fenced";
   }
   return "Unknown";
 }

@@ -29,6 +29,8 @@ class Status {
     kFailedPrecondition = 9,
     kEpochTaken = 10,   // multi-writer epoch contention: another participant
                         // owns this epoch; the reply body names the winner
+    kFenced = 11,       // this claim instance was fenced after abandonment;
+                        // terminal for the fenced participant (never retried)
   };
 
   Status() = default;  // OK
@@ -50,6 +52,7 @@ class Status {
   static Status EpochTaken(std::string_view msg) {
     return Status(Code::kEpochTaken, msg);
   }
+  static Status Fenced(std::string_view msg) { return Status(Code::kFenced, msg); }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -59,6 +62,7 @@ class Status {
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
   bool IsEpochTaken() const { return code_ == Code::kEpochTaken; }
+  bool IsFenced() const { return code_ == Code::kFenced; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -32,6 +32,7 @@ Deployment::Deployment(DeploymentOptions options)
     publishers_.push_back(std::make_unique<storage::Publisher>(
         storage_.back().get(), gossip_.back().get()));
     publishers_.back()->set_gc_keep_epochs(options_.gc_keep_epochs);
+    publishers_.back()->set_fence_after_us(options_.fence_after_us);
     query_.push_back(std::make_unique<query::QueryService>(
         hosts_.back().get(), storage_.back().get(), gossip_.back().get(), board_));
     sessions_.push_back(std::make_unique<client::Session>(
@@ -143,6 +144,7 @@ net::NodeId Deployment::AddNode() {
   publishers_.push_back(std::make_unique<storage::Publisher>(
       storage_.back().get(), gossip_.back().get()));
   publishers_.back()->set_gc_keep_epochs(options_.gc_keep_epochs);
+  publishers_.back()->set_fence_after_us(options_.fence_after_us);
   query_.push_back(std::make_unique<query::QueryService>(
       hosts_.back().get(), storage_.back().get(), gossip_.back().get(), board_));
   sessions_.push_back(std::make_unique<client::Session>(

@@ -40,6 +40,13 @@ struct DeploymentOptions {
   /// forever (the seed behavior); retrievals are then valid at any epoch
   /// instead of only [watermark, current].
   uint64_t gc_keep_epochs = 0;
+  /// Abandonment fencing: a claim whose owner shows no liveness for this
+  /// much simulated time may be fenced by a stalled contender — the epoch is
+  /// burned, the abandoned writer's orphans are purged, and its late writes
+  /// are refused (Publisher::set_fence_after_us). 0 (default) disables
+  /// fencing: an abandoned claim then wedges the chain forever, the seed
+  /// liveness contract.
+  sim::SimTime fence_after_us = 0;
   /// Per-node LocalStore tuning (compaction thresholds); harnesses lower the
   /// compaction floor so small stores still exercise the GC->compact path.
   localstore::StoreOptions store;

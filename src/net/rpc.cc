@@ -28,6 +28,7 @@ Status MakeStatus(uint8_t code, const std::string& msg) {
     case Status::Code::kNotSupported: return Status::NotSupported(msg);
     case Status::Code::kFailedPrecondition: return Status::FailedPrecondition(msg);
     case Status::Code::kEpochTaken: return Status::EpochTaken(msg);
+    case Status::Code::kFenced: return Status::Fenced(msg);
   }
   return Status::IOError("rpc: unknown status code " + std::to_string(code));
 }

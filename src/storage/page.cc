@@ -153,13 +153,17 @@ void EpochClaimRecord::EncodeTo(Writer* w) const {
   w->PutVarint32(node);
   w->PutBool(committed);
   w->PutVarint64(nonce);
+  w->PutBool(fenced);
+  w->PutBool(purged);
 }
 
 Status EpochClaimRecord::DecodeFrom(Reader* r, EpochClaimRecord* out) {
   ORC_RETURN_IF_ERROR(r->GetVarint32(&out->participant));
   ORC_RETURN_IF_ERROR(r->GetVarint32(&out->node));
   ORC_RETURN_IF_ERROR(r->GetBool(&out->committed));
-  return r->GetVarint64(&out->nonce);
+  ORC_RETURN_IF_ERROR(r->GetVarint64(&out->nonce));
+  ORC_RETURN_IF_ERROR(r->GetBool(&out->fenced));
+  return r->GetBool(&out->purged);
 }
 
 void CoordinatorRecord::EncodeTo(Writer* w) const {

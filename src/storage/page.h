@@ -133,6 +133,23 @@ struct EpochClaimRecord {
   uint32_t node = 0;
   bool committed = false;
   uint64_t nonce = 0;
+  // Fenced = the epoch is BURNED: no participant (including the original
+  // owner) may ever claim or confirm at this epoch again through this
+  // replica — contenders skip past it. The participant/node/nonce fields
+  // keep naming the fenced instance so late zombie writes are refused
+  // instance-exactly. committed and fenced are mutually exclusive for all
+  // time on one replica (kFenceEpoch refuses committed claims; confirm
+  // refuses fenced epochs) — and when a fence round only PARTIALLY granted,
+  // a replica-pushed committed record overrides a fenced one (the commit is
+  // a fact the burn promise must yield to).
+  bool fenced = false;
+  // Purged = the fence reached unanimity: every claim replica granted, so
+  // the epoch can never be observed committed and the fencer broadcast the
+  // orphan purge. Only purged burns carry purge authority (restart rebuild
+  // and replica pushes purge from them); a fenced-but-unpurged record is a
+  // burn PROMISE from a possibly-partial fence round and must never delete
+  // data. Meaningless unless fenced.
+  bool purged = false;
 
   void EncodeTo(Writer* w) const;
   static Status DecodeFrom(Reader* r, EpochClaimRecord* out);

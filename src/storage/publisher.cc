@@ -99,6 +99,15 @@ struct Publisher::PubState {
                                // our partial writes as shadowing orphans
   int claim_stall_left = 6;    // AwaitWinner probes before failing the batch
   int rebase_left = 4;         // contention re-bases allowed for this publish
+  int fence_skip_left = 64;    // burned epochs this publish may step past —
+                               // separate from rebase_left because a skip
+                               // keeps the base and prepared records intact
+                               // and always moves forward, while abandonment
+                               // churn can burn runs of epochs far wider than
+                               // any sane contention re-base budget
+  bool claim_fenced = false;   // the claim round hit a BURNED epoch
+  int fence_rounds_left = 2;   // fence attempts per attempt (reset on re-base)
+  ParticipantId fence_target = 0;  // stalled owner named by the last probe
 
   void FireRecordsCommitted() {
     records_committed = true;
@@ -597,6 +606,9 @@ void Publisher::ResetAttempt(Handle st) {
   st->claimed_epoch = 0;
   st->writes_issued = false;
   st->claim_stall_left = 6;
+  st->claim_fenced = false;
+  st->fence_rounds_left = 2;
+  st->fence_target = 0;
 }
 
 void Publisher::ReleaseClaim(Epoch epoch, uint64_t nonce) {
@@ -633,6 +645,7 @@ void Publisher::StartClaim(Handle st) {
     size_t outstanding = 0;
     size_t granted = 0;
     bool any_taken = false;
+    bool any_fenced = false;   // a replica holds the BURNED marker
     ParticipantId winner = 0;  // smallest winner named by a refusal
     Status error;              // first non-taken failure
   };
@@ -651,6 +664,8 @@ void Publisher::StartClaim(Handle st) {
         [this, st, round, round_id, epoch](Status s, const std::string& reply) {
           if (s.ok()) {
             round->granted += 1;
+          } else if (s.IsFenced()) {
+            round->any_fenced = true;
           } else if (s.IsEpochTaken()) {
             round->any_taken = true;
             Reader r(reply);
@@ -664,7 +679,14 @@ void Publisher::StartClaim(Handle st) {
           }
           if (--round->outstanding > 0) return;
           if (st->done || round_id != st->claim_round) return;  // stale round
-          if (round->any_taken) {
+          if (round->any_fenced) {
+            // The epoch is BURNED: nobody — this participant included — may
+            // ever hold it again. Routed through the kLost path so fragments
+            // stored on grant-side replicas are released before skipping.
+            st->claim_state = PubState::ClaimState::kLost;
+            st->claim_fenced = true;
+            st->claim_split = round->granted > 0;
+          } else if (round->any_taken) {
             pipeline_stats_.epoch_conflicts += 1;
             st->claim_state = PubState::ClaimState::kLost;
             st->claim_winner = round->winner;
@@ -675,6 +697,7 @@ void Publisher::StartClaim(Handle st) {
           } else {
             st->claim_state = PubState::ClaimState::kGranted;
             st->claimed_epoch = epoch;
+            ScheduleClaimRefresh(st, round_id);
           }
           MaybeIssue(st);
         },
@@ -704,6 +727,35 @@ void Publisher::MaybeIssue(Handle st) {
     case PubState::ClaimState::kLost: {
       bool split = st->claim_split;
       st->claim_state = PubState::ClaimState::kNone;  // consumed
+      if (st->claim_fenced) {
+        st->claim_fenced = false;
+        if (split && written_epochs_.count(st->new_epoch) == 0) {
+          ReleaseClaim(st->new_epoch, st->claim_nonce);
+        }
+        if (written_epochs_.count(st->new_epoch) > 0) {
+          // WE are the fenced instance at an epoch we hold writes at. The
+          // burn may be PARTIAL (a fence round that granted on some replicas
+          // and was refused on others leaves us unable to either commit or
+          // safely abandon the epoch). Escalate a SELF-fence: if it reaches
+          // unanimity, the purge broadcast removes our orphans cluster-wide
+          // and FenceEpoch's grant path unpins and skips; if a replica
+          // refuses because the epoch committed, the re-claim loop recommits
+          // it. Out of fence budget -> retryable failure that KEEPS the pin
+          // and the claim, so the session's same-batch retry resolves it.
+          if (st->fence_rounds_left-- > 0) {
+            st->fence_target = participant_;
+            FenceEpoch(st, st->new_epoch);
+          } else {
+            Finish(st,
+                   Status::Unavailable(
+                       "epoch " + std::to_string(st->new_epoch) +
+                       " is burn-promised under this participant's writes"));
+          }
+        } else {
+          SkipFenced(st, st->new_epoch);
+        }
+        return;
+      }
       LoseEpoch(st, st->new_epoch, split);
       return;
     }
@@ -734,10 +786,18 @@ void Publisher::LoseEpoch(Handle st, Epoch contested, bool split) {
 void Publisher::AwaitWinner(Handle st, Epoch contested) {
   if (st->done) return;
   if (st->claim_stall_left-- <= 0) {
-    // The winner has neither committed nor released within the stall budget
-    // (it may be wedged on a hung node). Fail the batch; the session's
+    // The winner has neither committed nor released within the stall budget.
+    // With fencing enabled and a named owner, escalate: ask the claim
+    // replicas to retire the claim as abandoned (they refuse if the owner is
+    // merely slow — its heartbeat keeps the freshness clock warm). Without
+    // fencing (or out of fence budget), fail the batch; the session's
     // same-batch retry discipline re-runs discovery + claim later, and the
     // winner's own retry (or its release) eventually unwedges the epoch.
+    if (fence_after_us_ > 0 && st->fence_target != 0 &&
+        st->fence_rounds_left-- > 0) {
+      FenceEpoch(st, contested);
+      return;
+    }
     Finish(st, Status::Unavailable(
                    "epoch " + std::to_string(contested) +
                    " claimed by another participant that has not committed"));
@@ -760,9 +820,24 @@ void Publisher::AwaitWinner(Handle st, Epoch contested) {
         if (s.ok()) {
           Reader r(reply);
           EpochClaimRecord claim;
-          if (EpochClaimRecord::DecodeFrom(&r, &claim).ok() && claim.committed) {
-            Rebase(st, contested);
-            return;
+          if (EpochClaimRecord::DecodeFrom(&r, &claim).ok()) {
+            if (claim.committed) {
+              Rebase(st, contested);
+              return;
+            }
+            if (claim.fenced && claim.purged) {
+              // The fence reached unanimity: the epoch is burned for
+              // everyone — skip past it with the base intact.
+              SkipFenced(st, contested);
+              return;
+            }
+            // Remember the stalled owner: a fence round must name the exact
+            // participant it retires (the replicas refuse a mismatched
+            // target, so a hand-off between owners can never be mis-fenced).
+            // A bare burn promise (fenced, not purged) lands here too — it
+            // is NOT skippable (the epoch may yet commit); waiting and, on
+            // stall, re-fencing it to unanimity is what resolves it.
+            if (claim.participant != 0) st->fence_target = claim.participant;
           }
         }
         // Not committed yet: re-claim after a pause. If the winner's publish
@@ -780,6 +855,177 @@ void Publisher::AwaitWinner(Handle st, Epoch contested) {
         });
       },
       kEpochDiscoveryTimeoutUs);
+}
+
+void Publisher::FenceEpoch(Handle st, Epoch contested) {
+  if (st->done) return;
+  // One kFenceEpoch per claim replica. Every replica must grant — the same
+  // all-replicas rule claims use, and for the same overlap reason: a fence
+  // round and the owner's refresh round share at least one live replica, so
+  // a refreshing owner is always seen by the fence round and refused there.
+  auto replicas = service_->snapshot().ReplicasOf(ClaimHash(contested),
+                                                  service_->replication());
+  if (replicas.empty()) {  // degenerate teardown: nothing holds the epoch
+    SkipFenced(st, contested);
+    return;
+  }
+  struct FenceRound {
+    size_t outstanding = 0;
+    size_t total = 0;
+    size_t granted = 0;
+    bool have_instance = false;
+    ParticipantId fenced_participant = 0;
+    uint64_t fenced_nonce = 0;
+  };
+  auto round = std::make_shared<FenceRound>();
+  round->outstanding = replicas.size();
+  round->total = replicas.size();
+  round->fenced_participant = st->fence_target;
+  Writer w;
+  w.PutVarint64(contested);
+  w.PutVarint32(participant_);       // fencer (audit trail)
+  w.PutVarint32(st->fence_target);   // the instance being retired
+  w.PutVarint64(fence_after_us_);    // staleness TTL the replicas check
+  std::string body = w.Release();
+  for (net::NodeId target : replicas) {
+    service_->Call(
+        target, kFenceEpoch, body,
+        [this, st, round, contested](Status s, const std::string& reply) {
+          if (s.ok()) {
+            round->granted += 1;
+            if (!round->have_instance) {
+              // Grant replies name the exact fenced instance; the purge
+              // broadcast carries it so stragglers refuse its writes too.
+              Reader r(reply);
+              uint32_t p = 0, node = 0;
+              uint64_t nonce = 0;
+              if (r.GetVarint32(&p).ok() && r.GetVarint32(&node).ok() &&
+                  r.GetVarint64(&nonce).ok()) {
+                round->have_instance = true;
+                round->fenced_participant = p;
+                round->fenced_nonce = nonce;
+              }
+            }
+          }
+          if (--round->outstanding > 0) return;
+          if (st->done) return;
+          if (round->granted == round->total) {
+            pipeline_stats_.fences += 1;
+            // The epoch is burned. Tell EVERY member (not just the claim
+            // replicas) so orphan tuple/page/coordinator versions the
+            // abandoned writer landed are purged cluster-wide and its late
+            // writes are refused wherever they arrive. One-way best-effort:
+            // replica pushes piggyback the burned set for any node missed.
+            Writer pw;
+            pw.PutVarint64(contested);
+            pw.PutVarint32(round->fenced_participant);
+            pw.PutVarint64(round->fenced_nonce);
+            for (const auto& m : service_->snapshot().members()) {
+              service_->SendOneWay(m.node, kPurgeEpoch, pw.data());
+            }
+            // Unanimity also settles a SELF-fence: with the purge broadcast
+            // out, our own partial writes at the burned epoch are doomed
+            // everywhere, so the pin (which exists to keep them from turning
+            // into shadowing orphans) can be dropped before skipping past.
+            written_epochs_.erase(contested);
+            SkipFenced(st, contested);
+            return;
+          }
+          // Any refusal aborts the fence: the owner refreshed (merely slow),
+          // the epoch committed/changed hands, or a replica was unreachable
+          // (then the overlap argument cannot be relied on). Resume waiting
+          // with a short stall budget — the next exhaustion may retry the
+          // fence if budget remains.
+          st->claim_stall_left = 2;
+          sim::SimTime pause = 2 * sim::kMicrosPerSec +
+                               static_cast<sim::SimTime>(participant_) *
+                                   (sim::kMicrosPerSec / 4);
+          service_->RunAfter(pause, [this, st] { StartClaim(st); });
+        },
+        kEpochDiscoveryTimeoutUs);
+  }
+}
+
+void Publisher::SkipFenced(Handle st, Epoch burned) {
+  if (st->done) return;
+  // Skips have their own (deliberately deep) budget: each burned epoch costs
+  // one claim round and nothing else, and new_epoch only ever moves forward,
+  // so the loop terminates at the far edge of any burn region. Only a
+  // pathological fence storm fails the publish here.
+  if (--st->fence_skip_left < 0) {
+    Finish(st, Status::Aborted("fencing: burned-epoch skip budget exhausted"));
+    return;
+  }
+  pipeline_stats_.fenced_skips += 1;
+  // Unlike Rebase, the base is still valid — a burned epoch committed
+  // nothing, so this publish's base records carry forward unchanged and only
+  // the target epoch moves past the burn. (In-memory re-base, like
+  // ReleaseGate's chain path.)
+  auto records = std::move(st->records);
+  ResetAttempt(st);
+  st->records = std::move(records);
+  st->new_epoch = burned + 1;
+  StartClaim(st);
+  FetchPages(st);
+}
+
+void Publisher::ScheduleClaimRefresh(Handle st, uint64_t round_id) {
+  if (fence_after_us_ == 0) return;
+  sim::SimTime period = std::max<sim::SimTime>(1, fence_after_us_ / 3);
+  service_->RunAfter(period, [this, st, round_id] {
+    // Only the round that was granted refreshes; a re-base, loss, or
+    // resolution since then makes this heartbeat a no-op.
+    if (st->done || round_id != st->claim_round ||
+        st->claim_state != PubState::ClaimState::kGranted) {
+      return;
+    }
+    Writer w;
+    w.PutVarint64(st->claimed_epoch);
+    w.PutVarint32(participant_);
+    w.PutVarint32(service_->node());
+    w.PutVarint64(st->claim_nonce);  // same instance: an idempotent re-grant
+    std::string body = w.Release();
+    auto replicas = service_->snapshot().ReplicasOf(ClaimHash(st->claimed_epoch),
+                                                    service_->replication());
+    struct Beat {
+      size_t outstanding = 0;
+      bool fenced = false;
+    };
+    auto beat = std::make_shared<Beat>();
+    beat->outstanding = replicas.size();
+    if (replicas.empty()) {
+      ScheduleClaimRefresh(st, round_id);
+      return;
+    }
+    for (net::NodeId target : replicas) {
+      service_->Call(
+          target, kClaimEpoch, body,
+          [this, st, round_id, beat](Status s, const std::string&) {
+            if (s.IsFenced()) beat->fenced = true;
+            if (--beat->outstanding > 0) return;
+            if (st->done || round_id != st->claim_round) return;
+            if (beat->fenced) {
+              // Lost a fence race while holding the claim (we looked
+              // abandoned long enough). Writes issued -> the zombie path:
+              // every further write/commit at the burned epoch is refused
+              // with kFenced, so the pipeline surfaces the terminal error on
+              // its own — just stop refreshing. No writes yet -> route
+              // through the kLost/claim_fenced path, which MaybeIssue
+              // consumes only once the prepare stages are quiescent (acting
+              // here could collide with in-flight page fetches).
+              if (!st->writes_issued) {
+                st->claim_state = PubState::ClaimState::kLost;
+                st->claim_fenced = true;
+                st->claim_split = true;  // we held a grant; release fragments
+                MaybeIssue(st);
+              }
+              return;
+            }
+            ScheduleClaimRefresh(st, round_id);
+          },
+          kEpochDiscoveryTimeoutUs);
+    }
+  });
 }
 
 void Publisher::Rebase(Handle st, Epoch base) {
@@ -1004,8 +1250,9 @@ void Publisher::CommitAfterPrev(Handle st) {
   auto track = [st](Status s) {
     // A kEpochTaken refusal outranks transient errors: it means another
     // participant committed this epoch and this publish must re-base, not
-    // merely retry.
-    if (s.IsEpochTaken()) {
+    // merely retry. Likewise kFenced — the epoch was burned out from under
+    // this publish mid-commit and the batch must move to a fresh epoch.
+    if (s.IsEpochTaken() || s.IsFenced()) {
       st->first_error = s;
     } else if (!s.ok() && st->first_error.ok()) {
       st->first_error = s;
@@ -1101,6 +1348,14 @@ void Publisher::Finish(Handle st, Status status) {
         service_->SendOneWay(m.node, kSetWatermark, ww.data());
       }
     }
+  } else if (status.IsFenced()) {
+    // This participant WAS the fenced instance: its epoch is burned, its
+    // orphan writes are purged, and its late rewrites are refused. Unpin the
+    // epoch — the written_epochs_ pinning rule exists to let the same-batch
+    // retry rewrite the SAME epoch byte-identically, but a burned epoch can
+    // never be written or committed by anyone, so the retry must (and safely
+    // can) republish at a fresh epoch instead.
+    written_epochs_.erase(st->new_epoch);
   } else if (st->claim_attempted != 0 && !st->writes_issued &&
              written_epochs_.count(st->claim_attempted) == 0) {
     // The failed publish holds a claim (or fragments) at an epoch THIS

@@ -141,6 +141,19 @@ class Publisher {
   void set_gc_keep_epochs(uint64_t keep) { gc_keep_epochs_ = keep; }
   uint64_t gc_keep_epochs() const { return gc_keep_epochs_; }
 
+  /// Abandonment fencing: a claim whose owner shows no liveness (no refresh,
+  /// no confirm) for `ttl` of simulated time may be FENCED by a stalled
+  /// contender — the claim replicas burn the epoch, purge the owner's orphan
+  /// versions, and refuse the owner's late writes instance-exactly, so the
+  /// chain cannot be wedged forever by a writer that died after claiming.
+  /// 0 (default) disables fencing: claims then wedge until their holder
+  /// retries or releases (the pre-fencing liveness contract). While enabled,
+  /// a publish that holds a granted claim also heartbeats it (an idempotent
+  /// re-claim every ttl/3) so a merely-slow owner always looks fresh and
+  /// wins the fence race.
+  void set_fence_after_us(sim::SimTime ttl) { fence_after_us_ = ttl; }
+  sim::SimTime fence_after_us() const { return fence_after_us_; }
+
   /// Pipeline accounting (bench + regression hooks).
   struct PipelineStats {
     uint64_t publishes = 0;        // publishes started
@@ -153,6 +166,9 @@ class Publisher {
     uint64_t epoch_conflicts = 0;  // claims or commits lost to another writer
     uint64_t rebases = 0;          // publishes re-based onto a winner's epoch
     uint64_t chain_rebases = 0;    // successors re-based after a prev rebase
+    // Abandonment-fencing accounting.
+    uint64_t fences = 0;           // fence rounds this publisher won
+    uint64_t fenced_skips = 0;     // burned epochs skipped past
   };
   const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
 
@@ -222,6 +238,24 @@ class Publisher {
   /// -> re-claim (the winner may have failed and released) until the stall
   /// budget runs out, then fail the publish (the session retries the batch).
   void AwaitWinner(Handle st, Epoch contested);
+  /// Stalled-contender fence round: asks every claim replica to retire the
+  /// abandoned claim at `contested` (kFenceEpoch, TTL-checked server-side).
+  /// All replicas granting burns the epoch — the round then broadcasts
+  /// kPurgeEpoch to every member (orphan cleanup) and skips past the burned
+  /// epoch. ANY refusal (owner refreshed, epoch committed, replica silent)
+  /// aborts the fence and resumes waiting: the quorum rule means a live
+  /// owner only has to reach one claim replica to keep its epoch.
+  void FenceEpoch(Handle st, Epoch contested);
+  /// Skips a publish past a BURNED epoch: like a chain re-base, but the base
+  /// (and its fetched records) stay valid — only the target epoch moves to
+  /// burned + 1. Used by a fencer after its fence round, and by any publish
+  /// that discovers a burned epoch via a kFenced claim refusal or probe.
+  void SkipFenced(Handle st, Epoch burned);
+  /// Claim-liveness heartbeat (fencing enabled only): re-sends the granted
+  /// claim (same nonce — an idempotent re-grant) every fence_after_us_/3 so
+  /// the claim replicas' freshness clock keeps a live owner unfenceable. A
+  /// kFenced reply means this publish lost a fence race; it skips or fails.
+  void ScheduleClaimRefresh(Handle st, uint64_t round_id);
   /// Re-bases a contention loser onto the winner's committed output: resets
   /// the attempt state, fetches the committed coordinator records at `base`,
   /// and re-runs FetchPages/Apply/claim at base + 1. Bounded per publish.
@@ -263,6 +297,7 @@ class Publisher {
   ParticipantId participant_;
   bool epoch_discovery_ = true;
   uint64_t gc_keep_epochs_ = 0;
+  sim::SimTime fence_after_us_ = 0;  // 0 = abandonment fencing disabled
   /// Claim-attempt nonce source: every claim round stores a fresh
   /// (participant, nonce) instance, making releases instance-exact under
   /// message delay/reordering.

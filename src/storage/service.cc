@@ -258,6 +258,19 @@ void StorageService::OnMessage(net::NodeId from, uint16_t code,
     }
     return;
   }
+  if (code == kPurgeEpoch) {
+    // One-way fence propagation from a successful fence round: record the
+    // burn and purge local orphans. Safe against races by construction —
+    // MergeFencedEpoch refuses to touch a committed epoch.
+    uint64_t epoch, nonce;
+    uint32_t participant;
+    if (!r.GetVarint64(&epoch).ok() || !r.GetVarint32(&participant).ok() ||
+        !r.GetVarint64(&nonce).ok()) {
+      return;
+    }
+    MergeFencedEpoch(epoch, participant, nonce);
+    return;
+  }
   if (code == kReleaseEpoch) {
     // One-way claim cleanup from a failed publish: delete the claim only if
     // it is still the EXACT instance the releaser stored — matched by
@@ -277,8 +290,11 @@ void StorageService::OnMessage(net::NodeId from, uint16_t code,
     EpochClaimRecord stored;
     if (EpochClaimRecord::DecodeFrom(&cr, &stored).ok() &&
         stored.participant == participant && stored.nonce == nonce &&
-        !stored.committed) {
+        !stored.committed && !stored.fenced) {
+      // A fenced marker is NOT the releaser's to clear either: the burn must
+      // survive so the epoch stays dead for everyone.
       store_.Delete(keys::EpochClaim(epoch)).ok();
+      claim_touch_.erase(epoch);
     }
     return;
   }
@@ -311,6 +327,7 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       if (!r->GetVarint64(&nrels).ok()) return;
       counters_.puttuples_frames += 1;
       uint64_t total = 0;
+      uint64_t fenced_refused = 0;
       for (uint64_t ri = 0; ri < nrels; ++ri) {
         std::string_view rel;
         uint64_t n;
@@ -329,6 +346,12 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
               !r->GetStringView(&tuple_bytes).ok()) {
             return;
           }
+          // Zombie write refusal: a fenced epoch can never be resurrected.
+          // The empty() fast path keeps the hot loop map-free normally.
+          if (!fenced_epochs_.empty() && fenced_epochs_.count(epoch) > 0) {
+            ++fenced_refused;
+            continue;
+          }
           store_.Put(keys::DataRaw(rel, hash_be20, key_bytes, epoch), tuple_bytes)
               .ok();
           counters_.tuples_stored += 1;
@@ -336,6 +359,12 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
         total += n;
       }
       ChargeCpu(costs.tuple_write_us * static_cast<double>(total));
+      if (fenced_refused > 0) {
+        counters_.fenced_writes_refused += fenced_refused;
+        Respond(from, req_id,
+                Status::Fenced("tuple writes at a fenced epoch refused"), {});
+        return;
+      }
       Respond(from, req_id, Status::OK(), {});
       return;
     }
@@ -349,6 +378,14 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
         return;
       }
       const PageId& id = page.desc.id;
+      if (!fenced_epochs_.empty() && fenced_epochs_.count(id.epoch) > 0) {
+        counters_.fenced_writes_refused += 1;
+        Respond(from, req_id,
+                Status::Fenced("page write at fenced epoch " +
+                               std::to_string(id.epoch)),
+                {});
+        return;
+      }
       store_.Put(keys::PageRec(id.relation, id.epoch, id.partition), page_bytes)
           .ok();
       counters_.pages_stored += 1;
@@ -369,6 +406,16 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
       CoordinatorRecord rec;
       if (!CoordinatorRecord::DecodeFrom(r, &rec).ok() || !r->AtEnd()) {
         Respond(from, req_id, Status::Corruption("bad coordinator record"), {});
+        return;
+      }
+      // Zombie commit refusal: a fenced epoch's coordinator chain is burned
+      // and purged; no participant may rebuild it.
+      if (!fenced_epochs_.empty() && fenced_epochs_.count(rec.epoch) > 0) {
+        counters_.fenced_writes_refused += 1;
+        Respond(from, req_id,
+                Status::Fenced("coordinator write at fenced epoch " +
+                               std::to_string(rec.epoch)),
+                {});
         return;
       }
       // Multi-writer commit gate: the first committed writer of (rel, epoch)
@@ -406,6 +453,9 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
     case kClaimEpoch:
       HandleClaimEpoch(from, r, req_id);
       return;
+    case kFenceEpoch:
+      HandleFenceEpoch(from, r, req_id);
+      return;
     case kConfirmEpoch: {
       // The epoch's coordinator records are all written: mark the claim
       // committed so discovery (kGetMaxEpoch) can report the epoch. Stored
@@ -418,12 +468,46 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
         Respond(from, req_id, Status::Corruption("bad epoch confirm"), {});
         return;
       }
+      // A fence that completed first wins: the epoch is burned and its
+      // orphans purged, so flipping it committed now would report an epoch
+      // whose data is gone. The publisher's ticket fails with kFenced and
+      // the batch republishes at a fresh epoch.
+      if (fenced_epochs_.count(epoch) > 0) {
+        counters_.fenced_writes_refused += 1;
+        Respond(from, req_id,
+                Status::Fenced("confirm at fenced epoch " +
+                               std::to_string(epoch)),
+                {});
+        return;
+      }
+      // A burn PROMISE (fence granted here, unanimity unknown) also refuses
+      // the confirm — that refusal is what makes unanimity meaningful — but
+      // as a RETRYABLE error, not kFenced: the publisher keeps its epoch
+      // pinned and resolves the partial burn on retry (self-fence to
+      // unanimity, or recommit once a committed record heals this replica).
+      {
+        auto curc = store_.Get(keys::EpochClaim(epoch));
+        if (curc.ok()) {
+          Reader cr(curc.value());
+          EpochClaimRecord stored;
+          if (EpochClaimRecord::DecodeFrom(&cr, &stored).ok() &&
+              stored.fenced) {
+            counters_.fenced_writes_refused += 1;
+            Respond(from, req_id,
+                    Status::Unavailable("confirm at burn-promised epoch " +
+                                        std::to_string(epoch)),
+                    {});
+            return;
+          }
+        }
+      }
       EpochClaimRecord rec{participant, claimant_node, /*committed=*/true,
                            nonce};
       Writer w;
       rec.EncodeTo(&w);
       store_.Put(keys::EpochClaim(epoch), w.data()).ok();
       max_epoch_seen_ = std::max(max_epoch_seen_, epoch);
+      claim_touch_[epoch] = host_->network()->simulator()->now();
       Respond(from, req_id, Status::OK(), {});
       return;
     }
@@ -511,32 +595,70 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
         if (!r->GetVarint32(&p).ok() || !r->GetVarint64(&m).ok()) return;
         pushed_marks.emplace_back(p, m);
       }
+      // Piggybacked fenced-epoch table: merged BEFORE the records below so a
+      // push can never resurrect orphans at epochs its own sender knows are
+      // burned (and so a restarted receiver whose fenced claim records were
+      // GC'd below the watermark still re-learns the burns).
+      uint64_t fence_count;
+      if (!r->GetVarint64(&fence_count).ok()) return;
+      for (uint64_t i = 0; i < fence_count; ++i) {
+        uint64_t fe, fnonce;
+        uint32_t fp;
+        if (!r->GetVarint64(&fe).ok() || !r->GetVarint32(&fp).ok() ||
+            !r->GetVarint64(&fnonce).ok()) {
+          return;
+        }
+        MergeFencedEpoch(fe, fp, fnonce);
+      }
       if (!r->GetVarint64(&n).ok()) return;
       for (uint64_t i = 0; i < n; ++i) {
         std::string_view key, value;
         if (!r->GetStringView(&key).ok() || !r->GetStringView(&value).ok()) return;
         if (keys::Tag(key) == keys::kClaimTag) {
-          // Epoch claims merge by commit status: a CONFIRMED claim replaces
-          // an unconfirmed one (the commit is a fact), but never vice versa.
+          // Epoch claims merge by strength: committed > purged burn > burn
+          // promise > uncommitted claim > absent. A CONFIRMED claim replaces
+          // anything unconfirmed (the commit is a fact — including a burn
+          // promise from a fence round the commit's confirm refused
+          // elsewhere). A PURGED burn carries purge authority and merges via
+          // the phase-two path; a bare burn promise only installs the
+          // marker — it must never purge, its fence round may have failed. A
+          // plain claim fills an empty slot with a conservatively-fresh
+          // clock (a pushed claim's owner gets a TTL of grace before a fence
+          // can use this replica's vote).
           Reader vr(value);
           EpochClaimRecord pushed;
           if (EpochClaimRecord::DecodeFrom(&vr, &pushed).ok()) {
-            bool have_committed = false;
+            EpochClaimRecord mine;
+            bool have_mine = false;
             auto curv = store_.Get(key);
             if (curv.ok()) {
               Reader cr(curv.value());
-              EpochClaimRecord mine;
-              if (EpochClaimRecord::DecodeFrom(&cr, &mine).ok()) {
-                have_committed = mine.committed;
-              }
+              have_mine = EpochClaimRecord::DecodeFrom(&cr, &mine).ok();
             }
-            if (!curv.ok() || (pushed.committed && !have_committed)) {
-              store_.Put(key, value).ok();
-            }
+            Epoch ce = 0;
+            bool parsed = keys::ParseClaim(key, &ce);
             if (pushed.committed) {
-              Epoch ce;
-              if (keys::ParseClaim(key, &ce)) {
+              if (!have_mine || !mine.committed) store_.Put(key, value).ok();
+              if (parsed) {
                 max_epoch_seen_ = std::max(max_epoch_seen_, ce);
+                claim_touch_.erase(ce);
+              }
+            } else if (pushed.fenced && pushed.purged) {
+              if (parsed && (!have_mine || !mine.committed)) {
+                MergeFencedEpoch(ce, pushed.participant, pushed.nonce);
+              }
+            } else if (pushed.fenced) {
+              if (!have_mine || (!mine.committed && !mine.fenced)) {
+                store_.Put(key, value).ok();
+                if (parsed) claim_touch_.erase(ce);
+              }
+            } else if (!have_mine && !curv.ok()) {
+              if (!(parsed && fenced_epochs_.count(ce) > 0)) {
+                store_.Put(key, value).ok();
+                if (parsed) {
+                  claim_touch_[ce] =
+                      host_->network()->simulator()->now();
+                }
               }
             }
           }
@@ -551,6 +673,13 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
           // ever overwrite the other's replicas); merging toward the
           // smaller participant makes every replica CONVERGE to one
           // deterministic writer per epoch instead.
+          if (!fenced_epochs_.empty()) {
+            keys::ParsedCoordKey ck;
+            if (keys::ParseCoord(key, &ck) &&
+                fenced_epochs_.count(ck.epoch) > 0) {
+              continue;  // burned epoch: never rebuild its coordinator chain
+            }
+          }
           auto curv = store_.Get(key);
           if (!curv.ok()) {
             store_.Put(key, value).ok();
@@ -566,6 +695,22 @@ void StorageService::HandleRequest(net::NodeId from, uint16_t code, Reader* r,
             }
           }
           continue;
+        }
+        // Fence filter on store-if-absent: a stale pusher that missed a
+        // fence must not resurrect the purged orphans here.
+        if (!fenced_epochs_.empty()) {
+          Epoch ve = 0;
+          bool versioned = false;
+          if (keys::Tag(key) == keys::kDataTag) {
+            keys::ParsedDataKey dk;
+            versioned = keys::ParseData(key, &dk);
+            if (versioned) ve = dk.epoch;
+          } else if (keys::Tag(key) == keys::kPageTag) {
+            keys::ParsedPageKey pk;
+            versioned = keys::ParsePageRec(key, &pk);
+            if (versioned) ve = pk.epoch;
+          }
+          if (versioned && fenced_epochs_.count(ve) > 0) continue;
         }
         if (!store_.Contains(key)) store_.Put(key, value).ok();
         if (keys::Tag(key) == keys::kCatalogTag) {
@@ -633,8 +778,27 @@ void StorageService::HandleClaimEpoch(net::NodeId from, Reader* r,
     rec.EncodeTo(&w);
     store_.Put(keys::EpochClaim(epoch), w.data()).ok();
     counters_.claims_granted += 1;
+    // The freshness clock a fence races against: every grant (including the
+    // owner's periodic refresh re-grants) resets the staleness TTL.
+    claim_touch_[epoch] = host_->network()->simulator()->now();
     Respond(from, req_id, Status::OK(), {});
   };
+  // Unanimity-table backstop: a burned epoch stays refused even after its
+  // claim record was GC'd below the watermark (the in-memory burned set
+  // outlives the record; pushes and kPurgeEpoch keep re-seeding it).
+  if (fenced_epochs_.count(epoch) > 0) {
+    const FencedInstance& inst = fenced_epochs_[epoch];
+    counters_.claims_refused += 1;
+    Writer wb;
+    wb.PutVarint32(inst.participant);
+    wb.PutVarint32(0);
+    wb.PutVarint64(inst.nonce);
+    Respond(from, req_id,
+            Status::Fenced("epoch " + std::to_string(epoch) +
+                           " burned by abandonment fencing"),
+            wb.Release());
+    return;
+  }
   auto cur = store_.Get(keys::EpochClaim(epoch));
   if (!cur.ok()) {
     grant(false, nonce);
@@ -644,6 +808,37 @@ void StorageService::HandleClaimEpoch(net::NodeId from, Reader* r,
   EpochClaimRecord stored;
   if (!EpochClaimRecord::DecodeFrom(&cr, &stored).ok()) {
     grant(false, nonce);  // malformed slot: treat as empty
+    return;
+  }
+  if (stored.fenced) {
+    counters_.claims_refused += 1;
+    Writer wb;
+    wb.PutVarint32(stored.participant);
+    wb.PutVarint32(stored.node);
+    wb.PutVarint64(stored.nonce);
+    if (stored.purged) {
+      // Authoritative burn (the fence reached unanimity): refused for
+      // EVERYONE, owner included (a zombie resurrecting its fenced epoch is
+      // exactly what the burn prevents). Contenders skip past it.
+      Respond(from, req_id,
+              Status::Fenced("epoch " + std::to_string(epoch) +
+                             " burned by abandonment fencing"),
+              wb.Release());
+    } else {
+      // Bare burn promise (a fence round touched this replica; unanimity
+      // unknown — the epoch may yet commit through a heal, or harden to a
+      // purged burn). Refuse like an ordinary taken slot so the requester
+      // waits and resolves it through the probe/fence machinery instead of
+      // skipping an epoch that might still commit. Deliberately NO owner
+      // re-grant here: silently clearing the promise would reopen the
+      // confirm-vs-fence race the promise exists to close — the owner
+      // retires its own instance with a self-fence instead.
+      Respond(from, req_id,
+              Status::EpochTaken("epoch " + std::to_string(epoch) +
+                                 " burn-promised under participant " +
+                                 std::to_string(stored.participant)),
+              wb.Release());
+    }
     return;
   }
   if (stored.participant == participant) {
@@ -665,6 +860,242 @@ void StorageService::HandleClaimEpoch(net::NodeId from, Reader* r,
                              " claimed by participant " +
                              std::to_string(stored.participant)),
           wb.Release());
+}
+
+void StorageService::HandleFenceEpoch(net::NodeId from, Reader* r,
+                                      uint64_t req_id) {
+  // Abandonment fencing (see kFenceEpoch in service.h). Decision order:
+  //   1. already fenced            -> idempotent grant (another fencer won a
+  //                                   race, or this is a retry);
+  //   2. behind confirmed frontier -> refuse (a vacuous grant after
+  //                                   membership churn could burn an epoch
+  //                                   that committed elsewhere);
+  //   3. stored claim committed    -> refuse (a commit is a fact; purging
+  //                                   under it would lose visible data);
+  //   4. slot changed hands        -> refuse (the fencer's staleness
+  //                                   evidence is about a different owner);
+  //   5. owner still fresh         -> refuse (a live-but-slow owner's claim
+  //                                   refreshes win the race against fences)
+  //                                   — waived when the owner fences ITSELF
+  //                                   (retiring its own doomed instance);
+  //   6. otherwise                 -> burn the epoch: store the fenced
+  //                                   marker (refusing all future claims and
+  //                                   confirms here).
+  // A missing/malformed slot past the frontier grants vacuously — the burn
+  // marker is what keeps a zombie's late re-claim out.
+  //
+  // The grant deliberately does NOT purge data: this round may still be
+  // refused at another replica (owner fresh there, or its confirm landed
+  // first), and a purge under an epoch that can still be observed committed
+  // would delete visible data. Purging happens only in phase two — the
+  // fencer's kPurgeEpoch broadcast after EVERY replica granted, which proves
+  // no confirm round can ever complete at this epoch.
+  uint64_t epoch, ttl_us;
+  uint32_t fencer, fenced_participant;
+  if (!r->GetVarint64(&epoch).ok() || !r->GetVarint32(&fencer).ok() ||
+      !r->GetVarint32(&fenced_participant).ok() ||
+      !r->GetVarint64(&ttl_us).ok()) {
+    Respond(from, req_id, Status::Corruption("bad fence request"), {});
+    return;
+  }
+  ChargeCpu(host_->network()->costs().tuple_scan_us);
+  EpochClaimRecord stored;
+  bool have = false;
+  auto cur = store_.Get(keys::EpochClaim(epoch));
+  if (cur.ok()) {
+    Reader cr(cur.value());
+    have = EpochClaimRecord::DecodeFrom(&cr, &stored).ok();
+  }
+  auto grant = [&](const EpochClaimRecord& inst) {
+    counters_.fences_granted += 1;
+    Writer wb;
+    wb.PutVarint32(inst.participant);
+    wb.PutVarint32(inst.node);
+    wb.PutVarint64(inst.nonce);
+    Respond(from, req_id, Status::OK(), wb.Release());
+  };
+  if (have && stored.fenced) {
+    grant(stored);
+    return;
+  }
+  auto refuse = [&](Status st) {
+    counters_.fences_refused += 1;
+    Respond(from, req_id, st, {});
+  };
+  if (epoch <= max_epoch_seen_) {
+    refuse(Status::EpochTaken("fence refused: epoch " + std::to_string(epoch) +
+                              " is at or behind the confirmed frontier"));
+    return;
+  }
+  if (have && stored.committed) {
+    refuse(Status::EpochTaken("fence refused: epoch " + std::to_string(epoch) +
+                              " committed by participant " +
+                              std::to_string(stored.participant)));
+    return;
+  }
+  if (have && stored.participant != fenced_participant) {
+    refuse(Status::EpochTaken(
+        "fence refused: epoch " + std::to_string(epoch) + " now held by " +
+        std::to_string(stored.participant) + ", not " +
+        std::to_string(fenced_participant)));
+    return;
+  }
+  // A self-fence (the owner retiring its own instance — it discovered a
+  // partial burn it can neither commit through nor safely abandon) waives
+  // the freshness check: the clock protects the owner, and the owner is the
+  // requester.
+  if (have && fencer != fenced_participant) {
+    auto touch = claim_touch_.find(epoch);
+    sim::SimTime now = host_->network()->simulator()->now();
+    if (touch == claim_touch_.end()) {
+      // Unknown freshness: this replica gained the claim without a grant
+      // (replica push, rebalance). Seed the clock and refuse once — the
+      // owner, if live, gets one TTL of grace to heartbeat it; a truly
+      // abandoned claim is fenceable one TTL later.
+      claim_touch_[epoch] = now;
+      refuse(Status::Unavailable("fence refused: claim owner of epoch " +
+                                 std::to_string(epoch) +
+                                 " has unknown freshness; seeded"));
+      return;
+    }
+    if (now - touch->second < static_cast<sim::SimTime>(ttl_us)) {
+      refuse(Status::Unavailable("fence refused: claim owner of epoch " +
+                                 std::to_string(epoch) + " is still fresh"));
+      return;
+    }
+  }
+  EpochClaimRecord burned;
+  if (have) {
+    burned = stored;
+  } else {
+    burned.participant = fenced_participant;
+  }
+  burned.committed = false;
+  burned.fenced = true;
+  Writer w;
+  burned.EncodeTo(&w);
+  store_.Put(keys::EpochClaim(epoch), w.data()).ok();
+  claim_touch_.erase(epoch);
+  grant(burned);
+}
+
+void StorageService::MergeFencedEpoch(Epoch epoch, ParticipantId participant,
+                                      uint64_t nonce) {
+  EpochClaimRecord stored;
+  bool have = false;
+  auto cur = store_.Get(keys::EpochClaim(epoch));
+  if (cur.ok()) {
+    Reader cr(cur.value());
+    have = EpochClaimRecord::DecodeFrom(&cr, &stored).ok();
+  }
+  // A commit is a fact a fence never overrides: if this replica learned the
+  // epoch committed (the fence round and a confirm round can interleave at
+  // DIFFERENT replicas; both then fail their callers), keep the commit.
+  if (have && stored.committed) return;
+  if (fenced_epochs_.count(epoch) > 0) return;
+  fenced_epochs_[epoch] = FencedInstance{participant, nonce};
+  claim_touch_.erase(epoch);
+  // Persist the burn WITH purge authority (`purged`) so a restart re-learns
+  // both facts and replica pushes propagate them (the marker replicates like
+  // any claim record). Purge authority is what distinguishes this phase-two
+  // entry point from a fence grant's burn promise: callers reach here only
+  // downstream of a unanimously granted fence round.
+  EpochClaimRecord burned;
+  if (have) {
+    burned = stored;
+  } else {
+    burned.participant = participant;
+    burned.nonce = nonce;
+  }
+  burned.committed = false;
+  burned.fenced = true;
+  burned.purged = true;
+  Writer w;
+  burned.EncodeTo(&w);
+  store_.Put(keys::EpochClaim(epoch), w.data()).ok();
+  PurgeEpochLocal(epoch);
+}
+
+void StorageService::PurgeEpochLocal(Epoch epoch) {
+  // The orphan purge behind a fence: the burned epoch never committed (both
+  // fence entry points refuse committed epochs), so every version stored at
+  // it is unreachable garbage — and worse, a data version at the burned
+  // epoch would SHADOW the committed version the coordinator chain
+  // references once the GC watermark passes it. One ordered pass per family.
+  std::vector<std::string> doomed;
+  uint64_t scanned = 0;
+  for (auto it = store_.SeekPrefix(keys::TagPrefix(keys::kDataTag)); it.Valid();
+       it.Next()) {
+    ++scanned;
+    keys::ParsedDataKey dk;
+    if (keys::ParseData(it.key(), &dk) && dk.epoch == epoch) {
+      doomed.emplace_back(it.key());
+    }
+  }
+  // Page purge also tracks, per purged partition, the newest SURVIVING page
+  // version so inverse entries can be re-aimed below — discovery must never
+  // see an inverse pointing at a purged page (torn state).
+  struct PurgedPartition {
+    std::string relation;
+    uint32_t partition = 0;
+    Epoch newest_surviving = 0;
+    bool any_surviving = false;
+  };
+  std::vector<PurgedPartition> purged_parts;
+  {
+    std::string group;
+    bool group_purged = false;
+    PurgedPartition part;
+    auto flush = [&] {
+      if (group_purged) purged_parts.push_back(part);
+      group_purged = false;
+      part = PurgedPartition{};
+    };
+    for (auto it = store_.SeekPrefix(keys::TagPrefix(keys::kPageTag));
+         it.Valid(); it.Next()) {
+      ++scanned;
+      keys::ParsedPageKey pk;
+      if (!keys::ParsePageRec(it.key(), &pk)) continue;
+      std::string_view g = keys::VersionGroupPrefix(it.key());
+      if (g != group) {
+        flush();
+        group.assign(g);
+      }
+      if (pk.epoch == epoch) {
+        doomed.emplace_back(it.key());
+        group_purged = true;
+        part.relation.assign(pk.relation);
+        part.partition = pk.partition;
+      } else {
+        part.any_surviving = true;
+        part.newest_surviving = std::max(part.newest_surviving, pk.epoch);
+      }
+    }
+    flush();
+  }
+  for (auto it = store_.SeekPrefix(keys::TagPrefix(keys::kCoordTag));
+       it.Valid(); it.Next()) {
+    ++scanned;
+    keys::ParsedCoordKey ck;
+    if (keys::ParseCoord(it.key(), &ck) && ck.epoch == epoch) {
+      doomed.emplace_back(it.key());
+    }
+  }
+  for (const std::string& key : doomed) store_.Delete(key).ok();
+  for (const PurgedPartition& pp : purged_parts) {
+    auto inv = ReadInverseLocal(pp.relation, pp.partition);
+    if (!inv.ok() || inv.value().epoch != epoch) continue;
+    if (pp.any_surviving) {
+      Writer iw;
+      PageId{pp.relation, pp.newest_surviving, pp.partition}.EncodeTo(&iw);
+      store_.Put(keys::Inverse(pp.relation, pp.partition), iw.data()).ok();
+    } else {
+      store_.Delete(keys::Inverse(pp.relation, pp.partition)).ok();
+    }
+  }
+  counters_.purged_orphans += doomed.size();
+  ChargeCpu(host_->network()->costs().tuple_scan_us *
+            static_cast<double>(scanned + doomed.size()));
 }
 
 void StorageService::HandleScanPage(net::NodeId from, Reader* r, uint64_t req_id) {
@@ -1101,6 +1532,14 @@ void StorageService::RebalanceTo(const overlay::RoutingSnapshot& snap) {
       out.PutVarint32(p);
       out.PutVarint64(pm.mark);
     }
+    // Piggybacked fenced-epoch table: burns propagate even after the fenced
+    // claim records themselves were retired below the GC watermark.
+    out.PutVarint64(fenced_epochs_.size());
+    for (const auto& [fe, inst] : fenced_epochs_) {
+      out.PutVarint64(fe);
+      out.PutVarint32(inst.participant);
+      out.PutVarint64(inst.nonce);
+    }
     out.PutVarint64(batch_counts[target]);
     out.PutRaw(w.data().data(), w.size());
     Call(target, kReplicaPush, out.Release(), [](Status, const std::string&) {});
@@ -1194,6 +1633,7 @@ void StorageService::RetireBelowWatermark() {
     if (e < w) {
       doomed.emplace_back(it.key());
       ++n_claims;
+      claim_touch_.erase(e);  // the freshness clock follows the claim
     }
   }
 
@@ -1238,6 +1678,15 @@ void StorageService::RetireBelowWatermark() {
         group.assign(prefix);
       }
       if (epoch > w) continue;
+      // A version at a fenced epoch is NEVER a survivor: it is purged
+      // garbage a stale push resurrected, and letting it win the
+      // newest-at-or-below race would shadow the committed version the
+      // coordinators reference. Doom it without updating the carry.
+      if (!fenced_epochs_.empty() && fenced_epochs_.count(epoch) > 0) {
+        doomed.emplace_back(key);
+        ++*retired;
+        continue;
+      }
       if (!best_key.empty()) {
         doomed.push_back(best_key);
         if (best_is_tombstone) {
@@ -1367,6 +1816,7 @@ bool StorageService::RunGcSlice(uint64_t budget) {
           if (keys::ParseClaim(key, &e) && e < w) {
             doomed.emplace_back(key);
             ++n_claims;
+            claim_touch_.erase(e);
           }
           break;
         }
@@ -1389,6 +1839,13 @@ bool StorageService::RunGcSlice(uint64_t budget) {
             gc_sweep_.group.assign(group);
           }
           if (epoch > w) break;
+          // Fenced-epoch versions are never survivors (see the synchronous
+          // sweep's twin of this check for the shadowing argument).
+          if (!fenced_epochs_.empty() && fenced_epochs_.count(epoch) > 0) {
+            doomed.emplace_back(key);
+            ++(phase == 2 ? n_pages : n_data);
+            break;
+          }
           if (!gc_sweep_.best_key.empty()) {
             doomed.push_back(gc_sweep_.best_key);
             if (gc_sweep_.best_is_tombstone) {
@@ -1433,14 +1890,29 @@ void StorageService::OnRestart() {
   // watermark resets to 0 and is re-learned from the next advertisement —
   // GC merely lags on a freshly restarted node.
   max_epoch_seen_ = 0;
+  fenced_epochs_.clear();
+  claim_touch_.clear();
+  const sim::SimTime now = host_->network()->simulator()->now();
   for (auto it = store_.SeekPrefix(keys::TagPrefix(keys::kClaimTag));
        it.Valid(); it.Next()) {
     Epoch e;
     if (!keys::ParseClaim(it.key(), &e)) continue;
     Reader vr(it.value());
     EpochClaimRecord rec;
-    if (EpochClaimRecord::DecodeFrom(&vr, &rec).ok() && rec.committed) {
+    if (!EpochClaimRecord::DecodeFrom(&vr, &rec).ok()) continue;
+    if (rec.committed) {
       max_epoch_seen_ = std::max(max_epoch_seen_, e);
+    } else if (rec.fenced) {
+      // Burns are durable. Only PURGED burns re-enter the purge-authority
+      // table — a bare burn promise (partial fence round) keeps refusing
+      // claims/confirms through the record itself but must never purge.
+      if (rec.purged) {
+        fenced_epochs_[e] = FencedInstance{rec.participant, rec.nonce};
+      }
+    } else {
+      // Conservative freshness seed: a replica restart must not make a LIVE
+      // claim owner look stale — its next refresh re-arms the clock anyway.
+      claim_touch_[e] = now;
     }
   }
   gc_watermark_ = 0;

@@ -77,6 +77,24 @@ enum StorageCode : uint16_t {
   // records of torn publishes can no longer inflate discovery and leak
   // uncommitted content into other writers' bases.
   kConfirmEpoch = 18,
+  // Abandonment fencing: after a claim has sat uncommitted and untouched for
+  // the requester-supplied staleness TTL, any participant may BURN the epoch.
+  // Body: epoch, fencer participant, fenced participant (the stored owner the
+  // fencer observed), ttl_us. A grant marks the claim record fenced — nobody
+  // (including the abandoned owner) can ever claim, write, or confirm at
+  // that epoch again — and atomically purges the owner's orphan versions
+  // (data/page/coordinator records at that epoch, plus inverse entries that
+  // pointed at them). Refused while the owner is fresh (its claim refreshes
+  // beat the TTL), once the epoch committed, when the slot changed hands, or
+  // behind the confirmed frontier. The reply body names the fenced instance
+  // (participant, node, nonce). Safety rides the same single-failure overlap
+  // argument as claims: a fence needs EVERY live claim replica, so it cannot
+  // coexist with a full un-fenced claim or a confirmed commit.
+  kFenceEpoch = 19,
+  // One-way fence propagation: (epoch, fenced participant, fenced nonce).
+  // Receivers record the burn and purge local orphan versions at the epoch;
+  // ignored if the local claim committed (a commit is a fact).
+  kPurgeEpoch = 20,
   kReply = 100,       // RPC reply envelope
 };
 
@@ -260,6 +278,11 @@ class StorageService : public net::Service {
   /// (durable) store after a Recover().
   void OnRestart();
 
+  /// True if `e` is known burned on this node (fence granted here, learned
+  /// via kPurgeEpoch, or rebuilt from the durable fenced claim record).
+  bool IsEpochFenced(Epoch e) const { return fenced_epochs_.count(e) > 0; }
+  size_t fenced_epoch_count() const { return fenced_epochs_.size(); }
+
   struct GcStats {
     uint64_t runs = 0;                // completed sweeps (sync or background)
     uint64_t slices = 0;              // background slices executed
@@ -307,6 +330,14 @@ class StorageService : public net::Service {
     uint64_t claims_granted = 0;
     uint64_t claims_refused = 0;
     uint64_t coordinator_conflicts = 0;
+    // Abandonment fencing at this claim replica: kFenceEpoch grants (the
+    // epoch burned here) and refusals (owner fresh/committed/frontier), late
+    // writes refused because their epoch is fenced, and orphan records
+    // purged by fence-triggered local purges.
+    uint64_t fences_granted = 0;
+    uint64_t fences_refused = 0;
+    uint64_t fenced_writes_refused = 0;
+    uint64_t purged_orphans = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -347,6 +378,17 @@ class StorageService : public net::Service {
   /// merge everything first and sweep once.
   void MergeParticipantMark(ParticipantId p, Epoch mark);
   void HandleClaimEpoch(net::NodeId from, Reader* r, uint64_t req_id);
+  void HandleFenceEpoch(net::NodeId from, Reader* r, uint64_t req_id);
+  /// Records `epoch` as burned (fenced instance = participant/nonce), stores
+  /// the durable fenced claim marker, and purges local orphan versions — a
+  /// no-op if the local claim committed (a commit is a fact a fence never
+  /// overrides) or the burn is already known.
+  void MergeFencedEpoch(Epoch epoch, ParticipantId participant, uint64_t nonce);
+  /// Deletes every data/page/coordinator version stored at `epoch` and
+  /// repairs inverse entries that pointed at a purged page (re-aimed at the
+  /// newest surviving version, or dropped when none survives), so discovery
+  /// never sees torn state after a fence.
+  void PurgeEpochLocal(Epoch epoch);
   void HandleRequest(net::NodeId from, uint16_t code, Reader* r, uint64_t req_id);
   void HandleScanPage(net::NodeId from, Reader* r, uint64_t req_id);
   void HandleFetchTuples(net::NodeId from, Reader* r);
@@ -402,6 +444,20 @@ class StorageService : public net::Service {
     sim::SimTime at = 0;
   };
   std::map<ParticipantId, ParticipantMark> participant_marks_;
+  // Abandonment fencing. `claim_touch_` is the freshness clock a fence races
+  // against: set at every claim grant/re-grant and confirm, seeded to "now"
+  // for surviving uncommitted claims on restart (conservative: a replica
+  // restart must not make a live owner look stale). Transient by design.
+  std::map<Epoch, sim::SimTime> claim_touch_;
+  // Burned epochs with the fenced instance (for instance-exact zombie write
+  // refusals). Durable via the fenced claim record; rebuilt on restart and
+  // re-taught by the replica-push piggyback. Never pruned — fences are rare
+  // and a retained entry keeps a stale push from resurrecting orphans.
+  struct FencedInstance {
+    ParticipantId participant = 0;
+    uint64_t nonce = 0;
+  };
+  std::map<Epoch, FencedInstance> fenced_epochs_;
 };
 
 }  // namespace orchestra::storage

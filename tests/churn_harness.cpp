@@ -9,7 +9,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serial.h"
 #include "deploy/deployment.h"
+#include "storage/keys.h"
+#include "storage/page.h"
 #include "storage/publisher.h"
 #include "wal/wal.h"
 
@@ -54,8 +57,10 @@ struct Driver {
     dopts.store.compaction_min_records = o.compaction_min_records;
     dopts.store.wal.sync_every_records = o.wal_sync_every;
     dopts.store.checkpoint_every_records = o.wal_checkpoint_every;
+    dopts.fence_after_us = o.fence_after_us;
     dep = std::make_unique<deploy::Deployment>(dopts);
     dep->network().SeedFaults(rng.Fork(3).NextU64());
+    report.seed = o.seed;
   }
 
   const ChurnOptions& opts;
@@ -78,7 +83,18 @@ struct Driver {
 
   std::set<net::NodeId> dead;
   std::set<net::NodeId> hung;
+  // Deliberately abandoned writer nodes: killed shortly after a round's
+  // submissions and NEVER restarted (disjoint from `dead`, which repairs
+  // revive). Their claims are exactly the wedge abandonment fencing exists
+  // to break; their uncommitted batches are forgiven, their key stripes
+  // adopted from storage truth at every convergence point.
+  std::set<net::NodeId> abandoned;
+  size_t abandons_scheduled = 0;  // budget incl. kills still in flight
   std::set<std::pair<net::NodeId, net::NodeId>> partitions;  // directed links
+  // Liveness oracle state: the confirmed-epoch frontier observed at the
+  // previous convergence point. It must strictly advance between points
+  // whenever at least one live, non-abandoned writer exists.
+  Epoch last_frontier = 0;
   // A force-aborted ticket's publish may still commit LATER (e.g. when its
   // hung node drains); snapshots taken between the abort and that landing
   // can miss its updates. Tainted history is dropped at the next convergence
@@ -254,7 +270,16 @@ struct Driver {
     }
 
     const size_t total = window * pubs;
-    size_t total_committed = 0;
+    // Batches still owed by writers that have NOT been abandoned (an
+    // abandoned writer never restarts, so its suffix is unfulfillable).
+    auto RemainingLive = [this](const std::vector<Writer>& ws) {
+      size_t remaining = 0;
+      for (const Writer& wr : ws) {
+        if (abandoned.count(wr.node) > 0) continue;
+        remaining += wr.work.size() - wr.committed;
+      }
+      return remaining;
+    };
     const sim::SimTime budget =
         deploy::Deployment::kDefaultWaitUs +
         60 * sim::kMicrosPerSec * static_cast<sim::SimTime>(total);
@@ -336,16 +361,28 @@ struct Driver {
           }
         }
         if (done_now < s.tickets.size()) {
+          const Status& fs = s.tickets[done_now].epoch.status();
           Trace("pubfail p=%zu idx=%zu err=%s", s.publisher,
-                wr.committed + done_now,
-                s.tickets[done_now].epoch.status().ToString().c_str());
+                wr.committed + done_now, fs.ToString().c_str());
+          // An AMBIGUOUS failure (timeout, fence, anything past the claim
+          // gate) may have landed coordinator records before dying. Those
+          // records are visible to epoch-snapshot reads at every epoch from
+          // the torn attempt until the same-batch retry recommits — the
+          // documented same-batch-retry contract keeps CURRENT reads exact,
+          // but model snapshots taken inside the torn window are not
+          // storage-truth. Only a claim-gate refusal (the slot was taken
+          // before anything was written) is unambiguous and taint-free.
+          bool prewrite_refusal =
+              fs.IsEpochTaken() ||
+              (fs.IsUnavailable() &&
+               fs.message().find("claimed by") != std::string::npos);
+          if (!prewrite_refusal) history_tainted = true;
         }
         if (done_now > 0) {
           report.pipelined_commits += done_now - 1;
           if (subs.size() > 1) report.concurrent_commits += done_now;
         }
         wr.committed += done_now;
-        total_committed += done_now;
       }
       // Torn-epoch detector: one epoch, one committed writer — ever.
       std::sort(commits.begin(), commits.end(),
@@ -362,7 +399,11 @@ struct Driver {
               wr.work[c.idx].rel, wr.node,
               static_cast<unsigned long long>(c.epoch), window);
       }
-      if (total_committed == total) {
+      // An abandoned writer's uncommitted suffix is forgiven: it is never
+      // restarted, so those batches can never commit — requiring them would
+      // deadlock the round. Everything owned by a live (or revivable) writer
+      // must still land. With no abandonment this is total == committed.
+      if (RemainingLive(writers) == 0) {
         if (attempt > 0) report.publish_retries += attempt;
         return true;
       }
@@ -370,9 +411,11 @@ struct Driver {
       // before retrying; publishes are idempotent per batch + participant.
       dep->RunFor(2 * sim::kMicrosPerSec);
     }
+    WedgeDump();
     return Fail("publish failed after " + std::to_string(opts.publish_attempts) +
-                " attempts: " + std::to_string(total - total_committed) +
-                " of " + std::to_string(total) + " batches uncommitted");
+                " attempts: " + std::to_string(RemainingLive(writers)) +
+                " of " + std::to_string(total) +
+                " batches uncommitted by non-abandoned writers");
   }
 
   // --- faults ---------------------------------------------------------------
@@ -425,6 +468,87 @@ struct Driver {
       report.hangs += 1;
       Trace("hang node=%u", victim);
     });
+  }
+
+  /// Schedules a deliberate ABANDONMENT: a writer node is killed a random
+  /// sub-publish interval after the round's submissions — landing after its
+  /// epoch claim hit the wire, usually with orphan writes behind it — and is
+  /// never restarted. Without fencing that claim wedges every competitor
+  /// forever; with fence_after_us armed the survivors retire it. The
+  /// `abandon_prob > 0` short-circuit keeps pre-knob seeds from drawing
+  /// fault_rng, preserving their byte-identical traces. At least one writer
+  /// always survives un-abandoned (otherwise the liveness contract is void).
+  void MaybeScheduleAbandon() {
+    if (opts.abandon_prob <= 0 || abandons_scheduled >= opts.max_abandoned) {
+      return;
+    }
+    if (fault_rng.NextDouble() >= opts.abandon_prob) return;
+    const size_t pubs = Publishers();
+    if (pubs < 2 || abandons_scheduled + 1 >= pubs) return;
+    std::vector<net::NodeId> eligible;  // live, unhung, un-abandoned writers
+    for (size_t p = 0; p < pubs; ++p) {
+      auto n = static_cast<net::NodeId>(p);
+      if (dep->IsAlive(n) && !dep->network().IsHung(n) &&
+          abandoned.count(n) == 0) {
+        eligible.push_back(n);
+      }
+    }
+    if (eligible.empty()) return;
+    net::NodeId victim = eligible[fault_rng.Uniform(eligible.size())];
+    abandons_scheduled += 1;
+    sim::SimTime delay = static_cast<sim::SimTime>(
+        fault_rng.Uniform(3 * sim::kMicrosPerSec));  // lands mid-publish
+    dep->sim().ScheduleAfter(delay, [this, victim] {
+      if (!dep->IsAlive(victim) || abandoned.count(victim) > 0) return;
+      dep->KillNode(victim, /*update_routing=*/true, /*rebalance=*/false);
+      abandoned.insert(victim);
+      report.abandons += 1;
+      // Its final in-flight publish may have committed invisibly (the
+      // coordinator write can land before the kill); snapshots spanning the
+      // abandon are untrustworthy until the stripe is adopted below.
+      history_tainted = true;
+      Trace("abandon node=%u", victim);
+    });
+  }
+
+  /// Full diagnostic dump on a suspected wedge: every live node's epoch-claim
+  /// table ('E' records, decoded) plus every writer's fault/pipeline state.
+  /// Appends to the trace so it rides along in ChurnReport::failure repros.
+  void WedgeDump() {
+    Trace("wedge-dump begin");
+    for (size_t i = 0; i < dep->size(); ++i) {
+      auto n = static_cast<net::NodeId>(i);
+      if (!dep->IsAlive(n)) continue;
+      const auto& store = dep->storage(i).store();
+      for (auto it = store.SeekPrefix(storage::keys::TagPrefix(storage::keys::kClaimTag));
+           it.Valid(); it.Next()) {
+        Epoch e = 0;
+        if (!storage::keys::ParseClaim(it.key(), &e)) continue;
+        storage::EpochClaimRecord rec;
+        Reader r(it.value());
+        if (!storage::EpochClaimRecord::DecodeFrom(&r, &rec).ok()) continue;
+        Trace("claim node=%u ep=%llu owner=%u from=%u committed=%d fenced=%d "
+              "nonce=%llu",
+              n, static_cast<unsigned long long>(e), rec.participant, rec.node,
+              rec.committed ? 1 : 0, rec.fenced ? 1 : 0,
+              static_cast<unsigned long long>(rec.nonce));
+      }
+    }
+    const size_t pubs = Publishers();
+    for (size_t p = 0; p < pubs; ++p) {
+      auto n = static_cast<net::NodeId>(p);
+      const auto& ps = dep->publisher(p).pipeline_stats();
+      Trace("writer p=%zu node=%u alive=%d hung=%d abandoned=%d pubs=%llu "
+            "conflicts=%llu rebases=%llu fences=%llu fskips=%llu",
+            p, n, dep->IsAlive(n) ? 1 : 0, dep->network().IsHung(n) ? 1 : 0,
+            abandoned.count(n) > 0 ? 1 : 0,
+            static_cast<unsigned long long>(ps.publishes),
+            static_cast<unsigned long long>(ps.epoch_conflicts),
+            static_cast<unsigned long long>(ps.rebases),
+            static_cast<unsigned long long>(ps.fences),
+            static_cast<unsigned long long>(ps.fenced_skips));
+    }
+    Trace("wedge-dump end");
   }
 
   /// One trace line per restart with the node's cumulative WAL recovery
@@ -527,8 +651,23 @@ struct Driver {
 
   // --- convergence checks ---------------------------------------------------
 
+  /// Erases every abandoned writer's key stripe from `m`. History checks
+  /// compare through this: an abandoned stripe's orphan rows can be adopted
+  /// into a snapshot and then purged by a LATER fence, so no snapshot of it
+  /// is stable — the stripe's current state stays covered via adoption, its
+  /// history is simply out of contract.
+  void EraseAbandonedStripes(ModelState* m) const {
+    for (net::NodeId n : abandoned) {
+      const int64_t lo_k =
+          static_cast<int64_t>(n) * static_cast<int64_t>(opts.keys);
+      m->erase(m->lower_bound(lo_k),
+               m->upper_bound(lo_k + static_cast<int64_t>(opts.keys) - 1));
+    }
+  }
+
   bool CheckRelationAt(size_t rel_idx, Epoch epoch, const ModelState& expect,
-                       const storage::KeyFilter& filter, const char* what) {
+                       const storage::KeyFilter& filter, const char* what,
+                       bool exclude_abandoned_stripes = false) {
     net::NodeId via = RandomLive(rng);
     Result<std::vector<Tuple>> rows =
         dep->Retrieve(via, kRelations[rel_idx], epoch, filter);
@@ -558,6 +697,10 @@ struct Driver {
       Value(k).EncodeOrdered(&kb);
       if (filter.Matches(kb)) want.emplace(k, v);
     }
+    if (exclude_abandoned_stripes) {
+      EraseAbandonedStripes(&got);
+      EraseAbandonedStripes(&want);
+    }
     if (got != want) {
       std::string detail;
       for (const auto& [k, v] : got) {
@@ -572,6 +715,49 @@ struct Driver {
                   " at e=" + std::to_string(epoch) + ": got " +
                   std::to_string(got.size()) + " rows, want " +
                   std::to_string(want.size()) + " [" + detail + " ]");
+    }
+    return true;
+  }
+
+  /// An abandoned writer's stripe is storage-truth: the writer died
+  /// mid-publish and is never retried, so whether its final in-flight batch
+  /// committed invisibly is unknowable client-side. Nothing else ever writes
+  /// the stripe (stripes are disjoint, and a fence purge only removes
+  /// UNcommitted orphans), so whatever a repaired cluster serves for it at
+  /// the check epoch is final — adopt it into the model instead of guessing.
+  /// History snapshots spanning the abandon were already dropped via
+  /// history_tainted; snapshots taken after this adoption are exact again.
+  bool AdoptAbandonedStripes() {
+    if (abandoned.empty()) return true;
+    const size_t pubs = Publishers();
+    for (size_t p = 0; p < pubs; ++p) {
+      auto n = static_cast<net::NodeId>(p);
+      if (abandoned.count(n) == 0) continue;
+      const int64_t lo_k =
+          static_cast<int64_t>(p) * static_cast<int64_t>(opts.keys);
+      const int64_t hi_k = lo_k + static_cast<int64_t>(opts.keys) - 1;
+      storage::KeyFilter f;
+      f.all = false;
+      Value(lo_k).EncodeOrdered(&f.lo);
+      Value(hi_k).EncodeOrdered(&f.hi);  // KeyFilter bounds are inclusive
+      for (size_t r = 0; r < kNumRelations; ++r) {
+        Result<std::vector<Tuple>> rows =
+            dep->Retrieve(RandomLive(rng), kRelations[r], committed_epoch, f);
+        for (int retry = 0; retry < 3 && !rows.ok(); ++retry) {
+          dep->RunFor(2 * sim::kMicrosPerSec);
+          rows = dep->Retrieve(RandomLive(rng), kRelations[r], committed_epoch, f);
+        }
+        if (!rows.ok()) {
+          return Fail("adopt abandoned stripe p=" + std::to_string(p) +
+                      " retrieve failed: " + rows.status().ToString());
+        }
+        auto& cur = current[r];
+        cur.erase(cur.lower_bound(lo_k), cur.upper_bound(hi_k));
+        for (const Tuple& t : *rows) {
+          if (t.size() != 2) return Fail("adopted tuple with wrong arity");
+          cur[t[0].AsInt64()] = t[1].AsString();
+        }
+      }
     }
     return true;
   }
@@ -598,15 +784,40 @@ struct Driver {
       return Fail("pending RPC tables did not drain after repair: " +
                   std::to_string(dep->PendingRpcCount()) + " entries");
     }
+    // Liveness oracle (deterministic global-progress check): between two
+    // convergence points every round published at least one batch from a
+    // live writer, so as long as ANY live, non-abandoned writer exists the
+    // confirmed-epoch frontier must have advanced — abandonment fencing
+    // (when armed) guarantees an abandoned claim cannot pin it. A flat
+    // frontier is a wedged chain: dump the claim tables and fail.
+    {
+      const size_t pubs = Publishers();
+      bool any_live_writer = pubs == 1;  // single-writer mode re-picks a node
+      for (size_t p = 0; p < pubs && !any_live_writer; ++p) {
+        if (abandoned.count(static_cast<net::NodeId>(p)) == 0) {
+          any_live_writer = true;
+        }
+      }
+      Epoch frontier = dep->MaxKnownEpoch();
+      if (any_live_writer && frontier <= last_frontier) {
+        WedgeDump();
+        return Fail("liveness: confirmed-epoch frontier wedged at " +
+                    std::to_string(frontier) + " since the previous check");
+      }
+      last_frontier = frontier;
+    }
     // Nudge GC so the storage measurements below see a retired state even if
-    // re-replication just resurrected already-retired records.
+    // re-replication just resurrected already-retired records. Abandoned
+    // nodes stay dead through checks; nothing executes on them.
     if (watermark > 0) {
       for (size_t i = 0; i < dep->size(); ++i) {
+        if (!dep->IsAlive(static_cast<net::NodeId>(i))) continue;
         dep->storage(i).SetGcWatermark(watermark);
       }
       Settle();
     }
     report.checks += 1;
+    if (!AdoptAbandonedStripes()) return false;
 
     storage::KeyFilter all;
     for (size_t r = 0; r < kNumRelations; ++r) {
@@ -636,7 +847,8 @@ struct Driver {
       if (!eligible.empty()) {
         Epoch e = eligible[rng.Uniform(eligible.size())];
         size_t r = rng.Uniform(kNumRelations);
-        if (!CheckRelationAt(r, e, history[r].at(e), all, "history")) {
+        if (!CheckRelationAt(r, e, history[r].at(e), all, "history",
+                             /*exclude_abandoned_stripes=*/true)) {
           return false;
         }
       }
@@ -650,6 +862,9 @@ struct Driver {
     uint64_t retired = 0;
     const uint64_t floor = opts.compaction_min_records;
     for (size_t i = 0; i < dep->size(); ++i) {
+      // Abandoned nodes are dead at check time (repairs never revive them);
+      // their stores are frozen mid-crash, so the bounds below don't apply.
+      if (!dep->IsAlive(static_cast<net::NodeId>(i))) continue;
       const auto& store = dep->storage(i).store();
       live_total += store.entry_count();
       const auto& gs = dep->storage(i).gc_stats();
@@ -758,11 +973,12 @@ struct Driver {
       MaybeScheduleKill();
       MaybeScheduleHang();
       MaybeSchedulePartition();
+      MaybeScheduleAbandon();
       if (!PublishRound()) break;
       // Flush any still-pending scheduled kill/hang, then re-replicate
       // around it so the next round's publish can reach every record.
       dep->RunFor(3 * sim::kMicrosPerSec + 1);
-      if (!dead.empty()) {
+      if (!dead.empty() || !abandoned.empty()) {
         SetChurnFaults(false);
         RebalanceAll();
         Settle();
@@ -780,7 +996,13 @@ struct Driver {
       const auto& ps = dep->publisher(i).pipeline_stats();
       report.epoch_conflicts += ps.epoch_conflicts;
       report.rebases += ps.rebases + ps.chain_rebases;
-      report.coordinator_conflicts += dep->storage(i).counters().coordinator_conflicts;
+      report.fences += ps.fences;
+      report.fenced_skips += ps.fenced_skips;
+      const auto& sc = dep->storage(i).counters();
+      report.coordinator_conflicts += sc.coordinator_conflicts;
+      report.fences_granted += sc.fences_granted;
+      report.fenced_writes_refused += sc.fenced_writes_refused;
+      report.purged_orphans += sc.purged_orphans;
       if (wal::Wal* w = dep->storage(i).store().wal()) {
         const wal::WalStats& ws = w->stats();
         report.wal_replayed_records += ws.replayed_records;
@@ -811,6 +1033,28 @@ ChurnReport RunChurn(const ChurnOptions& options) {
   Driver driver(options);
   driver.Run();
   return driver.report;
+}
+
+std::string ReplayCommand(const ChurnReport& report,
+                          const std::string& test_filter) {
+  return "ORCHESTRA_CHURN_SEED=" + std::to_string(report.seed) +
+         " ./churn_test --gtest_filter=" + test_filter;
+}
+
+std::string TraceTail(const ChurnReport& report, size_t max_lines) {
+  const std::string& t = report.trace;
+  if (t.empty() || max_lines == 0) return std::string();
+  // Trace lines are '\n'-terminated; scan backwards for the cut point.
+  size_t newlines = 0;
+  size_t i = t.size();
+  while (i > 0) {
+    --i;
+    if (t[i] == '\n') {
+      ++newlines;
+      if (newlines > max_lines) return t.substr(i + 1);
+    }
+  }
+  return t;
 }
 
 }  // namespace orchestra::churn

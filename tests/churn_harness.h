@@ -113,6 +113,20 @@ struct ChurnOptions {
   // at or above the floor (below it, compaction never runs by design).
   uint64_t compaction_min_records = 512;
 
+  // Abandoned writers + fencing. With abandon_prob per round (at most
+  // max_abandoned per run, writer nodes only, never the last live writer
+  // class), one writer is killed a random sub-publish interval after the
+  // round's submissions — landing after its epoch claim hit the wire — and
+  // NEVER restarted: its claim would wedge the epoch chain forever under the
+  // seed liveness contract. fence_after_us > 0 arms abandonment fencing on
+  // every publisher (DeploymentOptions::fence_after_us) so stalled
+  // contenders retire such claims; the liveness oracle below then holds.
+  // Both default off; runs that predate these knobs draw nothing extra from
+  // the fault RNG and replay byte-identically.
+  double abandon_prob = 0.0;
+  size_t max_abandoned = 0;
+  sim::SimTime fence_after_us = 0;
+
   // Publish retry budget per batch (re-publishing a batch is idempotent).
   size_t publish_attempts = 12;
 
@@ -164,6 +178,15 @@ struct ChurnReport {
   uint64_t history_invalidations = 0;  // model history dropped after a
                                        // possibly-committed aborted ticket
 
+  // Abandonment + fencing observations.
+  uint64_t seed = 0;       // echoed from ChurnOptions (replay convenience)
+  uint64_t abandons = 0;   // writers killed-after-claim and never restarted
+  uint64_t fences = 0;     // fence rounds fully granted (across publishers)
+  uint64_t fenced_skips = 0;  // burned epochs skipped over by contenders
+  uint64_t fences_granted = 0;        // claim-replica fence grants (storage)
+  uint64_t fenced_writes_refused = 0;  // zombie writes bounced with kFenced
+  uint64_t purged_orphans = 0;  // orphan records doomed by fence purges
+
   // GC / storage-bound observations (maxima over all convergence checks).
   double max_dead_fraction = 0;    // worst per-store dead fraction
   uint64_t max_live_records = 0;   // worst cluster-wide live record count
@@ -185,6 +208,16 @@ struct ChurnReport {
 
 /// Runs the churn scenario described by `options` to completion.
 ChurnReport RunChurn(const ChurnOptions& options);
+
+/// One-line shell command that replays `report`'s exact run:
+/// "ORCHESTRA_CHURN_SEED=<seed> ./churn_test --gtest_filter=<test_filter>".
+/// Print it with every sweep failure so the repro is a copy-paste away.
+std::string ReplayCommand(const ChurnReport& report,
+                          const std::string& test_filter);
+
+/// The last `max_lines` lines of the report's event trace (the whole trace
+/// when shorter) — the standard failure attachment for sweep assertions.
+std::string TraceTail(const ChurnReport& report, size_t max_lines);
 
 }  // namespace orchestra::churn
 

@@ -609,5 +609,168 @@ TEST(MultiWriter, GcWatermarkIsMinAcrossParticipants) {
                              {"slow", "v1"}, {"fast", "v7"}}));
 }
 
+// ---------------------------------------------------------------------------
+// Abandonment fencing at the client surface: a session whose in-flight
+// publish is fenced mid-write must surface a clean terminal error on its
+// Ticket — no hang, no silent success — its chained successors must abort
+// in submit order behind it, and the same-batch retry must recover at a
+// fresh epoch with none of the zombie's writes leaking into history.
+
+TEST(Fencing, FencedMidPublishFailsTicketAndAbortsSuccessorsInOrder) {
+  deploy::DeploymentOptions opts;
+  opts.num_nodes = 4;
+  opts.replication = 3;
+  opts.fence_after_us = 2 * sim::kMicrosPerSec;
+  deploy::Deployment dep(opts);
+  ASSERT_TRUE(dep.CreateRelation(0, SimpleRelation("R")).ok());
+
+  // Cast the roles off the ring: the victim writes from the one node that
+  // does NOT replicate the contested epoch's claim, so the fencer's
+  // all-replicas grant round never depends on the hung node.
+  auto claim_reps =
+      dep.storage(0).snapshot().ReplicasOf(storage::ClaimHash(2),
+                                           opts.replication);
+  size_t writer = 0;
+  for (size_t n = 0; n < dep.size(); ++n) {
+    if (std::find(claim_reps.begin(), claim_reps.end(),
+                  static_cast<net::NodeId>(n)) == claim_reps.end()) {
+      writer = n;
+    }
+  }
+  const size_t fencer = (writer + 1) % dep.size();
+  ASSERT_TRUE(dep.Publish(fencer, OneRow("R", "seed", "s")).ok());  // epoch 1
+
+  auto frames_now = [&dep] {
+    uint64_t n = 0;
+    for (size_t i = 0; i < dep.size(); ++i) {
+      n += dep.storage(i).counters().puttuples_frames;
+    }
+    return n;
+  };
+  const uint64_t frames_before = frames_now();
+
+  Session& zombie = dep.session(writer);
+  std::vector<UpdateBatch> batches;
+  for (int i = 0; i < 3; ++i) {
+    batches.push_back(OneRow("R", "k" + std::to_string(i),
+                             "v" + std::to_string(i)));
+  }
+  std::vector<Ticket> tickets;
+  for (const UpdateBatch& b : batches) tickets.push_back(zombie.Submit(b));
+
+  // Freeze the writer after its epoch-2 tuple writes hit a replica but
+  // before its confirm: a real abandonment, indistinguishable from a crash
+  // to everyone else, with orphan versions already on the wire.
+  ASSERT_TRUE(dep.RunUntil([&] { return frames_now() > frames_before; }));
+  ASSERT_FALSE(tickets[0].epoch.done());
+  dep.network().HangNode(static_cast<net::NodeId>(writer));
+
+  // Run the fencer's two-phase sequence from the test (at 4 nodes every
+  // replica set includes the hung node, so a full contender publish cannot
+  // commit — the live fencer pipeline is exercised by the churn sweeps):
+  // wait out the staleness TTL, collect a grant from EVERY claim replica
+  // (all alive by the role-casting above), then broadcast purge authority.
+  dep.RunFor(2 * opts.fence_after_us);
+  auto rpc = [&](net::NodeId target, uint16_t code, std::string body) {
+    Status out = Status::Unavailable("no reply");
+    bool done = false;
+    dep.storage(fencer).Call(target, code, std::move(body),
+                             [&](Status s, const std::string&) {
+                               out = s;
+                               done = true;
+                             });
+    dep.RunUntil([&done] { return done; });
+    return out;
+  };
+  const uint32_t fencer_id = 9;  // any non-owner participant may fence
+  for (net::NodeId target : claim_reps) {
+    Writer fw;
+    fw.PutVarint64(2);
+    fw.PutVarint32(fencer_id);
+    fw.PutVarint32(zombie.participant());
+    fw.PutVarint64(opts.fence_after_us);
+    Status granted = rpc(target, storage::kFenceEpoch, fw.Release());
+    ASSERT_TRUE(granted.ok()) << granted.ToString();
+  }
+  Writer pw;
+  pw.PutVarint64(2);
+  pw.PutVarint32(zombie.participant());
+  pw.PutVarint64(0);  // nonce is advisory on purge; the fence named it
+  for (size_t n = 0; n < dep.size(); ++n) {
+    if (n == writer) continue;
+    dep.storage(fencer).SendOneWay(static_cast<net::NodeId>(n),
+                                   storage::kPurgeEpoch, pw.data());
+  }
+  dep.RunFor(sim::kMicrosPerSec / 5);
+  uint64_t fences_granted = 0;
+  for (size_t i = 0; i < dep.size(); ++i) {
+    fences_granted += dep.storage(i).counters().fences_granted;
+  }
+  EXPECT_GE(fences_granted, claim_reps.size());
+
+  // Thaw the zombie. Its head publish must resolve with a terminal error —
+  // never hang awaiting a grant that cannot come, never report success for
+  // purged writes — and the pipelined successors abort in order behind it.
+  dep.network().UnhangNode(static_cast<net::NodeId>(writer));
+  ASSERT_TRUE(dep.RunUntil(
+      [&tickets] {
+        for (const Ticket& t : tickets) {
+          if (!t.epoch.done()) return false;
+        }
+        return true;
+      },
+      4 * deploy::Deployment::kDefaultWaitUs));
+  const Status& head = tickets[0].epoch.status();
+  EXPECT_FALSE(head.ok()) << "silent success for a fenced publish";
+  EXPECT_TRUE(head.IsFenced() || head.IsTimedOut()) << head.ToString();
+  for (size_t i = 1; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i].epoch.done()) << "successor " << i << " hung";
+    EXPECT_TRUE(tickets[i].epoch.status().IsAborted())
+        << "successor " << i << ": " << tickets[i].epoch.status().ToString();
+  }
+
+  // The writer node was dark when the purge broadcast went out, so its
+  // local orphans survive until anti-entropy delivers the burned-epoch
+  // table — the same replica-push repair any partition heal runs.
+  for (size_t i = 0; i < dep.size(); ++i) {
+    dep.storage(i).RebalanceTo(dep.snapshot());
+  }
+  ASSERT_TRUE(dep.RunUntil([&dep] { return dep.PendingRpcCount() == 0; }));
+
+  // None of the zombie's writes leaked into committed history: the last
+  // committed epoch still reads exactly the seed, and the burned epoch
+  // discovers nothing at all (its orphans were purged, not half-purged).
+  auto at1 = dep.Retrieve(fencer, "R", 1);
+  ASSERT_TRUE(at1.ok()) << at1.status().ToString();
+  EXPECT_EQ(AsMap(*at1), (std::map<std::string, std::string>{{"seed", "s"}}));
+  EXPECT_FALSE(dep.Retrieve(fencer, "R", 2).ok());
+
+  // The idempotent-retry discipline still holds across a fence: the same
+  // batches, resubmitted in order, commit at fresh epochs.
+  std::vector<Ticket> retry;
+  for (const UpdateBatch& b : batches) retry.push_back(zombie.Submit(b));
+  ASSERT_TRUE(dep.RunUntil(
+      [&retry] {
+        for (const Ticket& t : retry) {
+          if (!t.epoch.done()) return false;
+        }
+        return true;
+      },
+      4 * deploy::Deployment::kDefaultWaitUs));
+  Epoch prev = 2;  // the burned epoch: every retry must land strictly past it
+  for (const Ticket& t : retry) {
+    ASSERT_TRUE(t.epoch.ok()) << t.epoch.status().ToString();
+    EXPECT_GT(t.epoch.value(), prev);
+    prev = t.epoch.value();
+  }
+  auto final_rows = dep.Retrieve(fencer, "R", prev);
+  ASSERT_TRUE(final_rows.ok());
+  EXPECT_EQ(AsMap(*final_rows),
+            (std::map<std::string, std::string>{{"seed", "s"},
+                                                {"k0", "v0"},
+                                                {"k1", "v1"},
+                                                {"k2", "v2"}}));
+}
+
 }  // namespace
 }  // namespace orchestra::client

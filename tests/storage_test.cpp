@@ -950,5 +950,268 @@ TEST_F(StorageClusterTest, CommitGateRefusesConflictingSameEpochRecord) {
   EXPECT_GE(dep->storage(2).counters().coordinator_conflicts, 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Abandonment fencing: the kFenceEpoch / kPurgeEpoch two-phase burn at one
+// claim replica. Phase one (the fence grant) installs a burn PROMISE that
+// refuses claims and confirms but never deletes data; phase two (the purge,
+// sent only after EVERY replica granted) carries purge authority. The
+// cross-replica unanimity rules live in the publisher and are exercised
+// end-to-end by churn_test's fencing sweeps.
+
+std::string FenceBody(Epoch e, uint32_t fencer, uint32_t target,
+                      uint64_t ttl_us) {
+  Writer w;
+  w.PutVarint64(e);
+  w.PutVarint32(fencer);
+  w.PutVarint32(target);
+  w.PutVarint64(ttl_us);
+  return w.Release();
+}
+
+std::string PurgeBody(Epoch e, uint32_t participant, uint64_t nonce) {
+  Writer w;
+  w.PutVarint64(e);
+  w.PutVarint32(participant);
+  w.PutVarint64(nonce);
+  return w.Release();
+}
+
+std::string ConfirmBody(Epoch e, uint32_t participant, uint32_t node,
+                        uint64_t nonce) {
+  Writer w;
+  w.PutVarint64(e);
+  w.PutVarint32(participant);
+  w.PutVarint32(node);
+  w.PutVarint64(nonce);
+  return w.Release();
+}
+
+class FencingTest : public StorageClusterTest {
+ protected:
+  // One round-trip RPC from node 0 to `target`.
+  std::pair<Status, std::string> Rpc(net::NodeId target, uint16_t code,
+                                     std::string body) {
+    Status out = Status::Unavailable("no reply");
+    std::string reply;
+    bool done = false;
+    dep->storage(0).Call(target, code, std::move(body),
+                         [&](Status s, const std::string& b) {
+                           out = s;
+                           reply = b;
+                           done = true;
+                         });
+    dep->RunUntil([&done] { return done; });
+    return {out, reply};
+  }
+};
+
+// A fence only lands once the claim has sat untouched for a full staleness
+// TTL; a live-but-slow owner whose refresh beats the TTL wins the race.
+TEST_F(FencingTest, FenceWaitsOutTheStalenessTtl) {
+  const uint64_t ttl = 2 * sim::kMicrosPerSec;
+  // The owner's claim grant stamps the freshness clock.
+  ASSERT_TRUE(Rpc(1, kClaimEpoch, ClaimBody(300, 7, 0, 1)).first.ok());
+  // An instant fence is refused: slow is not abandoned.
+  auto fresh = Rpc(1, kFenceEpoch, FenceBody(300, 9, 7, ttl));
+  EXPECT_TRUE(fresh.first.IsUnavailable()) << fresh.first.ToString();
+  EXPECT_NE(fresh.first.message().find("still fresh"), std::string::npos);
+  // The owner refreshes before expiry; the staleness clock resets, so a
+  // fence one-and-a-half TTLs after the ORIGINAL claim still loses.
+  dep->RunFor(3 * sim::kMicrosPerSec / 2);
+  ASSERT_TRUE(Rpc(1, kClaimEpoch, ClaimBody(300, 7, 0, 2)).first.ok());
+  dep->RunFor(3 * sim::kMicrosPerSec / 2);
+  EXPECT_TRUE(
+      Rpc(1, kFenceEpoch, FenceBody(300, 9, 7, ttl)).first.IsUnavailable());
+  // One full TTL with no refresh: abandonment is provable; the grant names
+  // the exact retired instance (participant, node, nonce).
+  dep->RunFor(2 * ttl);
+  auto [granted, inst] = Rpc(1, kFenceEpoch, FenceBody(300, 9, 7, ttl));
+  ASSERT_TRUE(granted.ok()) << granted.ToString();
+  Reader r(inst);
+  uint32_t fp = 0, fn = 0;
+  uint64_t fx = 0;
+  ASSERT_TRUE(r.GetVarint32(&fp).ok() && r.GetVarint32(&fn).ok() &&
+              r.GetVarint64(&fx).ok());
+  EXPECT_EQ(fp, 7u);
+  EXPECT_EQ(fx, 2u);  // the refreshed instance, not the first attempt's
+  EXPECT_GE(dep->storage(1).counters().fences_granted, 1u);
+  EXPECT_GE(dep->storage(1).counters().fences_refused, 2u);
+}
+
+// A claim record that arrived WITHOUT a grant (replica push, rebalance) has
+// no freshness evidence; the first fence attempt seeds the clock and
+// refuses, giving a live owner one full TTL of grace to heartbeat it.
+TEST_F(FencingTest, FenceSeedsGraceForClaimsOfUnknownFreshness) {
+  EpochClaimRecord rec;
+  rec.participant = 7;
+  rec.node = 0;
+  rec.nonce = 4;
+  Writer w;
+  rec.EncodeTo(&w);
+  ASSERT_TRUE(dep->storage(1).store().Put(keys::EpochClaim(77), w.data()).ok());
+  const uint64_t ttl = sim::kMicrosPerSec;
+  auto seeded = Rpc(1, kFenceEpoch, FenceBody(77, 9, 7, ttl));
+  EXPECT_TRUE(seeded.first.IsUnavailable()) << seeded.first.ToString();
+  EXPECT_NE(seeded.first.message().find("unknown freshness"),
+            std::string::npos);
+  // Within the grace window the claim counts as fresh...
+  dep->RunFor(ttl / 2);
+  EXPECT_TRUE(
+      Rpc(1, kFenceEpoch, FenceBody(77, 9, 7, ttl)).first.IsUnavailable());
+  // ...after it, the fence lands.
+  dep->RunFor(ttl);
+  EXPECT_TRUE(Rpc(1, kFenceEpoch, FenceBody(77, 9, 7, ttl)).first.ok());
+}
+
+// Phase separation: a fence GRANT is a promise (refuses claims as a taken
+// slot and confirms retryably, deletes nothing); only the purge broadcast
+// after unanimity hardens it into an authoritative burn (kFenced for
+// everyone, owner included).
+TEST_F(FencingTest, FenceGrantIsAPromiseUntilPurged) {
+  const uint64_t ttl = sim::kMicrosPerSec;
+  ASSERT_TRUE(Rpc(1, kClaimEpoch, ClaimBody(100, 7, 0, 1)).first.ok());
+  dep->RunFor(2 * ttl);
+  ASSERT_TRUE(Rpc(1, kFenceEpoch, FenceBody(100, 9, 7, ttl)).first.ok());
+  // The promise refuses every claimant — owner included — as a TAKEN slot,
+  // not a burned one: the fence round may still fail elsewhere, so nobody
+  // may skip past an epoch that could yet commit.
+  auto contender = Rpc(1, kClaimEpoch, ClaimBody(100, 9, 2, 5));
+  EXPECT_TRUE(contender.first.IsEpochTaken()) << contender.first.ToString();
+  EXPECT_NE(contender.first.message().find("burn-promised"),
+            std::string::npos);
+  EXPECT_TRUE(Rpc(1, kClaimEpoch, ClaimBody(100, 7, 0, 6)).first.IsEpochTaken());
+  // The owner's confirm is refused RETRYABLY (unanimity unknown — the epoch
+  // may heal to committed through another replica), not terminally.
+  auto confirm = Rpc(1, kConfirmEpoch, ConfirmBody(100, 7, 0, 1));
+  EXPECT_TRUE(confirm.first.IsUnavailable()) << confirm.first.ToString();
+  EXPECT_NE(confirm.first.message().find("burn-promised"), std::string::npos);
+  EXPECT_GE(dep->storage(1).counters().fenced_writes_refused, 1u);
+  // Phase two: the fencer reached unanimity and broadcasts purge authority.
+  dep->storage(0).SendOneWay(1, kPurgeEpoch, PurgeBody(100, 7, 1));
+  dep->RunFor(sim::kMicrosPerSec / 10);
+  auto burned = Rpc(1, kClaimEpoch, ClaimBody(100, 9, 2, 7));
+  EXPECT_TRUE(burned.first.IsFenced()) << burned.first.ToString();
+  EXPECT_TRUE(
+      Rpc(1, kConfirmEpoch, ConfirmBody(100, 7, 0, 1)).first.IsFenced());
+  // The stored record carries both facts durably: burned AND purged.
+  auto [got, bytes] = Rpc(1, kGetEpochClaim, [] {
+    Writer gw;
+    gw.PutVarint64(100);
+    return gw.Release();
+  }());
+  ASSERT_TRUE(got.ok());
+  Reader cr(bytes);
+  EpochClaimRecord stored;
+  ASSERT_TRUE(EpochClaimRecord::DecodeFrom(&cr, &stored).ok());
+  EXPECT_TRUE(stored.fenced);
+  EXPECT_TRUE(stored.purged);
+  EXPECT_FALSE(stored.committed);
+  EXPECT_EQ(stored.participant, 7u);
+}
+
+// The purge atomically retires a torn publish's discovery state: orphan
+// coordinator and page records vanish together with the inverse entries
+// re-aimed at surviving versions, so reads at the burned epoch get a clean
+// definitive NotFound — never a half-discovered mix — and the fenced
+// instance's late writes are refused everywhere afterwards.
+TEST_F(FencingTest, PurgeHealsTornDiscoveryStateAtomically) {
+  ASSERT_TRUE(dep->CreateRelation(0, SimpleRelation("R", 4)).ok());
+  UpdateBatch e1;
+  e1["R"] = {Update::Insert(Row("a", "1"))};
+  ASSERT_TRUE(dep->Publish(0, std::move(e1)).ok());
+  UpdateBatch e2;
+  e2["R"] = {Update::Insert(Row("b", "2"))};
+  ASSERT_TRUE(dep->Publish(0, std::move(e2)).ok());
+
+  // Forge a torn publish at epoch 3: claim, page, and coordinator landed;
+  // the tuple writes and the confirm did not (the writer died mid-flight).
+  Schema schema = SimpleRelation("R", 4).schema;
+  Tuple orphan_row = Row("c", "3");
+  std::string key_bytes = EncodeTupleKey(schema, orphan_row);
+  HashId h = TupleKeyHash(key_bytes);
+  uint32_t part = PartitionIndexFor(h, 4);
+  Page pg;
+  pg.desc.id = PageId{"R", 3, part};
+  pg.desc.num_partitions = 4;
+  pg.ids = {TupleId{key_bytes, 3}};
+  pg.hashes = {h};
+  Writer pw;
+  pg.EncodeTo(&pw);
+  CoordinatorRecord crec;
+  crec.relation = "R";
+  crec.epoch = 3;
+  crec.participant = 7;
+  crec.pages = {pg.desc};
+  Writer cw;
+  crec.EncodeTo(&cw);
+  for (size_t n = 0; n < dep->size(); ++n) {
+    auto id = static_cast<net::NodeId>(n);
+    ASSERT_TRUE(Rpc(id, kClaimEpoch, ClaimBody(3, 7, 3, 9)).first.ok());
+    ASSERT_TRUE(Rpc(id, kPutPage, pw.data()).first.ok());
+    ASSERT_TRUE(Rpc(id, kPutCoordinator, cw.data()).first.ok());
+  }
+  // The torn chain IS visible to discovery: epoch-3 reads walk the orphan
+  // coordinator into a page whose tuples were never written.
+  auto torn = dep->Retrieve(1, "R", 3);
+  EXPECT_FALSE(torn.ok()) << "torn epoch-3 chain served a complete answer";
+
+  // Retire it: fence every replica past the TTL, then broadcast the purge —
+  // exactly the fencer's two-phase sequence.
+  const uint64_t ttl = sim::kMicrosPerSec;
+  dep->RunFor(2 * ttl);
+  for (size_t n = 0; n < dep->size(); ++n) {
+    auto id = static_cast<net::NodeId>(n);
+    ASSERT_TRUE(Rpc(id, kFenceEpoch, FenceBody(3, 9, 7, ttl)).first.ok());
+  }
+  for (size_t n = 0; n < dep->size(); ++n) {
+    dep->storage(0).SendOneWay(static_cast<net::NodeId>(n), kPurgeEpoch,
+                               PurgeBody(3, 7, 9));
+  }
+  dep->RunFor(sim::kMicrosPerSec / 5);
+
+  // Healed atomically: the torn chain is gone end-to-end, so discovery at
+  // the burned epoch is a clean NotFound (Retrieve has no walk-back; a
+  // definitive miss is what the publisher's walk-back keys on), while the
+  // committed epoch-2 chain still serves its full bag.
+  auto at3 = dep->Retrieve(1, "R", 3);
+  EXPECT_TRUE(at3.status().IsNotFound()) << at3.status().ToString();
+  auto at2 = dep->Retrieve(1, "R", 2);
+  ASSERT_TRUE(at2.ok()) << at2.status().ToString();
+  EXPECT_EQ(AsBag(*at2), AsBag({Row("a", "1"), Row("b", "2")}));
+  // No node's inverse entry aims at the purged page (torn discovery state).
+  for (size_t n = 0; n < dep->size(); ++n) {
+    Writer iw;
+    iw.PutString("R");
+    iw.PutVarint32(part);
+    auto [is, ibytes] = Rpc(static_cast<net::NodeId>(n), kGetInverse,
+                            iw.Release());
+    if (!is.ok()) continue;  // no entry at all is fine
+    Reader ir(ibytes);
+    PageId aimed;
+    ASSERT_TRUE(PageId::DecodeFrom(&ir, &aimed).ok());
+    EXPECT_NE(aimed.epoch, 3u) << "node " << n << " inverse aims at purged page";
+  }
+
+  // The fenced instance's late same-epoch writes are refused everywhere.
+  EXPECT_TRUE(Rpc(1, kPutPage, pw.data()).first.IsFenced());
+  EXPECT_TRUE(Rpc(1, kPutCoordinator, cw.data()).first.IsFenced());
+  Writer tw;
+  tw.PutVarint64(1);  // one relation
+  tw.PutString("R");
+  tw.PutVarint64(1);  // one tuple
+  std::string hash_be;
+  h.AppendBigEndian(&hash_be);
+  tw.PutRaw(hash_be.data(), hash_be.size());
+  tw.PutString(key_bytes);
+  tw.PutVarint64(3);
+  Writer vw;
+  EncodeTuple(orphan_row, &vw);
+  tw.PutString(vw.data());
+  EXPECT_TRUE(Rpc(1, kPutTuples, tw.Release()).first.IsFenced());
+  EXPECT_TRUE(
+      Rpc(1, kConfirmEpoch, ConfirmBody(3, 7, 3, 9)).first.IsFenced());
+  EXPECT_GE(dep->storage(1).counters().fenced_writes_refused, 4u);
+}
+
 }  // namespace
 }  // namespace orchestra::storage
